@@ -1,0 +1,348 @@
+//! LDNS-pair analysis: pairing consistency (Table 3), client↔resolver
+//! temporal churn (Figs. 8, 9, 12), and resolver counting (Table 5).
+
+use measure::record::{Dataset, ResolverKind};
+use netsim::addr::Prefix;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Table 3 row: the LDNS pair structure of one carrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdnsPairSummary {
+    /// Distinct client-facing resolver addresses observed.
+    pub client_facing: usize,
+    /// Distinct external-facing resolver addresses observed.
+    pub external: usize,
+    /// Distinct (client-facing, external) pairs.
+    pub pairs: usize,
+    /// Pairing consistency in percent: the measurement-weighted share of
+    /// each client-facing resolver's dominant external pairing (§4: a
+    /// client resolver balanced equally over two externals scores 50%).
+    pub consistency_pct: f64,
+}
+
+/// Computes the Table 3 row for one carrier.
+pub fn ldns_pairs(ds: &Dataset, carrier: usize) -> LdnsPairSummary {
+    // (client-facing) -> external -> count
+    let mut by_cf: HashMap<Ipv4Addr, HashMap<Ipv4Addr, usize>> = HashMap::new();
+    for r in ds.of_carrier(carrier) {
+        for id in &r.identities {
+            if id.resolver == ResolverKind::Local {
+                if let Some(ext) = id.external_addr {
+                    *by_cf
+                        .entry(id.queried_addr)
+                        .or_default()
+                        .entry(ext)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut externals: HashSet<Ipv4Addr> = HashSet::new();
+    let mut pairs = 0usize;
+    let mut total = 0usize;
+    let mut dominant = 0usize;
+    for exts in by_cf.values() {
+        pairs += exts.len();
+        let sum: usize = exts.values().sum();
+        let max = exts.values().copied().max().unwrap_or(0);
+        total += sum;
+        dominant += max;
+        externals.extend(exts.keys().copied());
+    }
+    LdnsPairSummary {
+        client_facing: by_cf.len(),
+        external: externals.len(),
+        pairs,
+        consistency_pct: if total == 0 {
+            0.0
+        } else {
+            100.0 * dominant as f64 / total as f64
+        },
+    }
+}
+
+/// One point of a resolver-enumeration time series (Figs. 8, 9, 12): at
+/// time `t_hours`, the device observed its `ip_index`-th distinct resolver
+/// IP and `prefix_index`-th distinct /24, in order of first appearance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnumPoint {
+    /// Observation time in hours since the campaign start.
+    pub t_hours: f64,
+    /// Order-of-appearance index of the resolver IP (1-based).
+    pub ip_index: usize,
+    /// Order-of-appearance index of the resolver /24 (1-based).
+    pub prefix_index: usize,
+}
+
+/// Enumerates the external resolvers one device observed over time through
+/// the given resolver path.
+pub fn resolver_enumeration(
+    ds: &Dataset,
+    device_id: u32,
+    kind: ResolverKind,
+) -> Vec<EnumPoint> {
+    let mut ip_order: Vec<Ipv4Addr> = Vec::new();
+    let mut prefix_order: Vec<Prefix> = Vec::new();
+    let mut points = Vec::new();
+    for r in ds.records.iter().filter(|r| r.device_id == device_id) {
+        for id in &r.identities {
+            if id.resolver != kind {
+                continue;
+            }
+            let Some(ext) = id.external_addr else { continue };
+            let ip_index = match ip_order.iter().position(|&a| a == ext) {
+                Some(i) => i + 1,
+                None => {
+                    ip_order.push(ext);
+                    ip_order.len()
+                }
+            };
+            let p = Prefix::slash24_of(ext);
+            let prefix_index = match prefix_order.iter().position(|&q| q == p) {
+                Some(i) => i + 1,
+                None => {
+                    prefix_order.push(p);
+                    prefix_order.len()
+                }
+            };
+            points.push(EnumPoint {
+                t_hours: r.t.as_secs() as f64 / 3600.0,
+                ip_index,
+                prefix_index,
+            });
+        }
+    }
+    points
+}
+
+/// Distinct external resolver IPs and /24s a device saw (summary of the
+/// enumeration — "a client within LG U+'s network witnessed over 65
+/// external resolver IPs … within only 2 /24 prefixes").
+pub fn churn_summary(points: &[EnumPoint]) -> (usize, usize) {
+    let ips = points.iter().map(|p| p.ip_index).max().unwrap_or(0);
+    let prefixes = points.iter().map(|p| p.prefix_index).max().unwrap_or(0);
+    (ips, prefixes)
+}
+
+/// Fig. 9: enumeration restricted to records within `radius_km` of the
+/// device's dominant location (the paper uses a 1 km-radius cluster).
+pub fn static_location_enumeration(
+    ds: &Dataset,
+    device_id: u32,
+    radius_km: f64,
+) -> Vec<EnumPoint> {
+    let recs: Vec<_> = ds
+        .records
+        .iter()
+        .filter(|r| r.device_id == device_id)
+        .collect();
+    if recs.is_empty() {
+        return Vec::new();
+    }
+    // Centroid of all observations.
+    let cx = recs.iter().map(|r| r.x_km as f64).sum::<f64>() / recs.len() as f64;
+    let cy = recs.iter().map(|r| r.y_km as f64).sum::<f64>() / recs.len() as f64;
+    let mut ip_order: Vec<Ipv4Addr> = Vec::new();
+    let mut prefix_order: Vec<Prefix> = Vec::new();
+    let mut points = Vec::new();
+    for r in recs {
+        let dx = r.x_km as f64 - cx;
+        let dy = r.y_km as f64 - cy;
+        if (dx * dx + dy * dy).sqrt() > radius_km {
+            continue;
+        }
+        let Some(ext) = r.local_external() else { continue };
+        let ip_index = match ip_order.iter().position(|&a| a == ext) {
+            Some(i) => i + 1,
+            None => {
+                ip_order.push(ext);
+                ip_order.len()
+            }
+        };
+        let p = Prefix::slash24_of(ext);
+        let prefix_index = match prefix_order.iter().position(|&q| q == p) {
+            Some(i) => i + 1,
+            None => {
+                prefix_order.push(p);
+                prefix_order.len()
+            }
+        };
+        points.push(EnumPoint {
+            t_hours: r.t.as_secs() as f64 / 3600.0,
+            ip_index,
+            prefix_index,
+        });
+    }
+    points
+}
+
+/// Table 5 cell: distinct resolver IPs and /24s observed from a carrier via
+/// one resolver path.
+pub fn resolver_counts(ds: &Dataset, carrier: usize, kind: ResolverKind) -> (usize, usize) {
+    let mut ips: HashSet<Ipv4Addr> = HashSet::new();
+    let mut prefixes: HashSet<Prefix> = HashSet::new();
+    for r in ds.of_carrier(carrier) {
+        for id in &r.identities {
+            if id.resolver == kind {
+                if let Some(ext) = id.external_addr {
+                    ips.insert(ext);
+                    prefixes.insert(Prefix::slash24_of(ext));
+                }
+            }
+        }
+    }
+    (ips.len(), prefixes.len())
+}
+
+/// The device with the most records on a carrier (used to pick the
+/// representative client the Fig. 8/12 panels plot).
+pub fn busiest_device(ds: &Dataset, carrier: usize) -> Option<u32> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in ds.of_carrier(carrier) {
+        *counts.entry(r.device_id).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(id, n)| (n, std::cmp::Reverse(id)))
+        .map(|(id, _)| id)
+}
+
+/// Like [`busiest_device`] but restricted to stationary devices (the
+/// Fig. 9 population: churn despite no movement).
+pub fn busiest_static_device(ds: &Dataset, carrier: usize) -> Option<u32> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in ds.of_carrier(carrier).filter(|r| r.is_static) {
+        *counts.entry(r.device_id).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(id, n)| (n, std::cmp::Reverse(id)))
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::record::{ExperimentRecord, ResolverIdentity};
+    use netsim::time::SimTime;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn rec(device: u32, t_hours: u64, cf: Ipv4Addr, ext: Option<Ipv4Addr>) -> ExperimentRecord {
+        ExperimentRecord {
+            device_id: device,
+            carrier: 0,
+            t: SimTime::from_micros(t_hours * 3_600_000_000),
+            radio: cellsim::radio::RadioTech::Lte,
+            x_km: 0.0,
+            y_km: 0.0,
+            is_static: true,
+            device_ip: ip(10, 0, 0, 1),
+            gateway_site: 0,
+            configured_dns: cf,
+            lookups: vec![],
+            identities: vec![ResolverIdentity {
+                resolver: ResolverKind::Local,
+                queried_addr: cf,
+                external_addr: ext,
+            }],
+            resolver_probes: vec![],
+            replica_probes: vec![],
+        }
+    }
+
+    fn ds(records: Vec<ExperimentRecord>) -> Dataset {
+        Dataset {
+            records,
+            carrier_names: vec!["A".into()],
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn consistency_of_balanced_pool_is_50pct() {
+        let cf = ip(100, 53, 0, 1);
+        let ds = ds(vec![
+            rec(1, 0, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 1, cf, Some(ip(100, 110, 0, 2))),
+            rec(1, 2, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 3, cf, Some(ip(100, 110, 0, 2))),
+        ]);
+        let s = ldns_pairs(&ds, 0);
+        assert_eq!(s.client_facing, 1);
+        assert_eq!(s.external, 2);
+        assert_eq!(s.pairs, 2);
+        assert!((s.consistency_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sticky_pairing_is_100pct() {
+        let cf = ip(100, 53, 0, 1);
+        let ds = ds(vec![
+            rec(1, 0, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 1, cf, Some(ip(100, 110, 0, 1))),
+        ]);
+        let s = ldns_pairs(&ds, 0);
+        assert_eq!(s.pairs, 1);
+        assert!((s.consistency_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_orders_by_first_appearance() {
+        let cf = ip(100, 53, 0, 1);
+        let ds = ds(vec![
+            rec(1, 0, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 1, cf, Some(ip(100, 111, 0, 9))),
+            rec(1, 2, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 3, cf, Some(ip(100, 110, 0, 7))),
+        ]);
+        let pts = resolver_enumeration(&ds, 1, ResolverKind::Local);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].ip_index, 1);
+        assert_eq!(pts[1].ip_index, 2);
+        assert_eq!(pts[2].ip_index, 1);
+        assert_eq!(pts[3].ip_index, 3);
+        // /24 indexes: 100.110.0/24 then 100.111.0/24 then back then same.
+        assert_eq!(pts[3].prefix_index, 1);
+        assert_eq!(churn_summary(&pts), (3, 2));
+    }
+
+    #[test]
+    fn static_filter_drops_remote_records() {
+        let cf = ip(100, 53, 0, 1);
+        let mut far = rec(1, 1, cf, Some(ip(100, 111, 0, 9)));
+        far.x_km = 500.0;
+        let ds = ds(vec![rec(1, 0, cf, Some(ip(100, 110, 0, 1))), far]);
+        // Centroid is at x=250; both records are >1 km away from it, so an
+        // aggressive radius keeps nothing, a generous one keeps both.
+        assert!(static_location_enumeration(&ds, 1, 1.0).is_empty());
+        assert_eq!(static_location_enumeration(&ds, 1, 1000.0).len(), 2);
+    }
+
+    #[test]
+    fn resolver_counts_dedupe() {
+        let cf = ip(100, 53, 0, 1);
+        let ds = ds(vec![
+            rec(1, 0, cf, Some(ip(100, 110, 0, 1))),
+            rec(1, 1, cf, Some(ip(100, 110, 0, 1))),
+            rec(2, 1, cf, Some(ip(100, 110, 0, 2))),
+        ]);
+        assert_eq!(resolver_counts(&ds, 0, ResolverKind::Local), (2, 1));
+        assert_eq!(resolver_counts(&ds, 0, ResolverKind::Google), (0, 0));
+    }
+
+    #[test]
+    fn busiest_device_picks_max_records() {
+        let cf = ip(100, 53, 0, 1);
+        let ds = ds(vec![
+            rec(1, 0, cf, None),
+            rec(2, 0, cf, None),
+            rec(2, 1, cf, None),
+        ]);
+        assert_eq!(busiest_device(&ds, 0), Some(2));
+        assert_eq!(busiest_device(&ds, 3), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Table 4: external reachability of carrier DNS resolvers.
+
+use measure::record::Dataset;
+
+/// One Table 4 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachSummary {
+    /// Carrier name.
+    pub carrier: String,
+    /// Resolvers probed.
+    pub total: usize,
+    /// Resolvers that answered ping from the university.
+    pub ping: usize,
+    /// Resolvers reached by traceroute.
+    pub traceroute: usize,
+}
+
+/// Summarizes the university-vantage probes per carrier.
+pub fn reachability(ds: &Dataset) -> Vec<ReachSummary> {
+    (0..ds.carrier_names.len())
+        .map(|c| {
+            let probes: Vec<_> = ds
+                .external_reach
+                .iter()
+                .filter(|p| p.carrier as usize == c)
+                .collect();
+            ReachSummary {
+                carrier: ds.carrier_names[c].clone(),
+                total: probes.len(),
+                ping: probes.iter().filter(|p| p.ping_ok).count(),
+                traceroute: probes.iter().filter(|p| p.traceroute_reached).count(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use measure::record::ExternalReachProbe;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn summarizes_per_carrier() {
+        let ds = Dataset {
+            carrier_names: vec!["A".into(), "B".into()],
+            external_reach: vec![
+                ExternalReachProbe {
+                    carrier: 0,
+                    target: Ipv4Addr::new(100, 110, 0, 1),
+                    ping_ok: true,
+                    traceroute_reached: false,
+                    responding_hops: 3,
+                },
+                ExternalReachProbe {
+                    carrier: 0,
+                    target: Ipv4Addr::new(100, 110, 0, 2),
+                    ping_ok: false,
+                    traceroute_reached: false,
+                    responding_hops: 2,
+                },
+                ExternalReachProbe {
+                    carrier: 1,
+                    target: Ipv4Addr::new(101, 110, 0, 1),
+                    ping_ok: false,
+                    traceroute_reached: false,
+                    responding_hops: 1,
+                },
+            ],
+            ..Dataset::default()
+        };
+        let rows = reachability(&ds);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].total, 2);
+        assert_eq!(rows[0].ping, 1);
+        assert_eq!(rows[0].traceroute, 0);
+        assert_eq!(rows[1].ping, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-carrier profile reports: everything the dataset says about one
+//! operator in a single text block (the §4 "characterization" as a
+//! generated document).
+
+use crate::cdf::Cdf;
+use crate::egress::egress_points;
+use crate::ldns::{busiest_device, churn_summary, ldns_pairs, resolver_enumeration};
+use crate::replica::{public_equal_or_better, replica_percent_increase};
+use crate::timing::resolution_cdf;
+use measure::record::{Dataset, ProbeTarget, ResolverKind};
+use std::fmt::Write as _;
+
+fn fmt_ms(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.0}ms")).unwrap_or_else(|| "-".into())
+}
+
+/// Builds the profile report for one carrier.
+pub fn carrier_report(ds: &Dataset, carrier: usize) -> String {
+    let name = &ds.carrier_names[carrier];
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Carrier profile: {name} ===");
+
+    // Fleet and volume.
+    let devices: std::collections::HashSet<u32> =
+        ds.of_carrier(carrier).map(|r| r.device_id).collect();
+    let experiments = ds.of_carrier(carrier).count();
+    let _ = writeln!(out, "fleet: {} devices, {experiments} experiments", devices.len());
+
+    // DNS infrastructure (Table 3 row).
+    let pairs = ldns_pairs(ds, carrier);
+    let _ = writeln!(
+        out,
+        "ldns: {} client-facing, {} external, {} pairs, {:.0}% pairing consistency",
+        pairs.client_facing, pairs.external, pairs.pairs, pairs.consistency_pct
+    );
+
+    // Resolution performance.
+    let local = resolution_cdf(ds, carrier, ResolverKind::Local);
+    let google = resolution_cdf(ds, carrier, ResolverKind::Google);
+    let _ = writeln!(
+        out,
+        "resolution: local p50 {} / p90 {}; google p50 {} / p90 {}",
+        fmt_ms(local.median()),
+        fmt_ms(local.quantile(0.9)),
+        fmt_ms(google.median()),
+        fmt_ms(google.quantile(0.9)),
+    );
+
+    // Resolver distances (Fig 4/11 row).
+    let rtt_for = |target: ProbeTarget| {
+        Cdf::from_iter(ds.of_carrier(carrier).flat_map(move |r| {
+            r.resolver_probes
+                .iter()
+                .filter(move |p| p.target == target)
+                .filter_map(|p| p.rtt_us.map(|us| us as f64 / 1000.0))
+        }))
+    };
+    let _ = writeln!(
+        out,
+        "resolver rtt p50: client-facing {}, external {}, google {}",
+        fmt_ms(rtt_for(ProbeTarget::ClientFacing).median()),
+        fmt_ms(rtt_for(ProbeTarget::External).median()),
+        fmt_ms(rtt_for(ProbeTarget::GoogleVip).median()),
+    );
+
+    // Churn (Fig 8 row for the representative device).
+    if let Some(dev) = busiest_device(ds, carrier) {
+        let points = resolver_enumeration(ds, dev, ResolverKind::Local);
+        let (ips, prefixes) = churn_summary(&points);
+        let _ = writeln!(
+            out,
+            "churn (device {dev}): {ips} distinct external IPs across {prefixes} /24s"
+        );
+    }
+
+    // Opaqueness (Table 4 row).
+    let probes: Vec<_> = ds
+        .external_reach
+        .iter()
+        .filter(|p| p.carrier as usize == carrier)
+        .collect();
+    if !probes.is_empty() {
+        let _ = writeln!(
+            out,
+            "external reachability: {}/{} pingable, {}/{} traceroutable",
+            probes.iter().filter(|p| p.ping_ok).count(),
+            probes.len(),
+            probes.iter().filter(|p| p.traceroute_reached).count(),
+            probes.len(),
+        );
+    }
+
+    // Egress points (§5.2).
+    let _ = writeln!(out, "egress points observed: {}", egress_points(ds, carrier).len());
+
+    // Replica damage (Fig 2 pooled) and public comparison (Fig 14).
+    let mut inflation = Cdf::default();
+    for d in 0..ds.domains.len() {
+        inflation = inflation.merge(&replica_percent_increase(ds, carrier, d as u8));
+    }
+    let _ = writeln!(
+        out,
+        "replica inflation vs user's best: p50 {}, p90 {}",
+        inflation
+            .median()
+            .map(|v| format!("+{v:.0}%"))
+            .unwrap_or_else(|| "-".into()),
+        inflation
+            .quantile(0.9)
+            .map(|v| format!("+{v:.0}%"))
+            .unwrap_or_else(|| "-".into()),
+    );
+    let _ = writeln!(
+        out,
+        "public replicas equal-or-better: {:.0}% of experiments",
+        public_equal_or_better(ds, carrier, ResolverKind::Google) * 100.0
+    );
+    out
+}
+
+/// Reports for every carrier, concatenated.
+pub fn all_carrier_reports(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for c in 0..ds.carrier_names.len() {
+        out.push_str(&carrier_report(ds, c));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::name::DnsName;
+
+    #[test]
+    fn empty_dataset_reports_do_not_panic() {
+        let ds = Dataset {
+            carrier_names: vec!["A".into(), "B".into()],
+            domains: vec![DnsName::parse("m.yelp.com").unwrap()],
+            ..Dataset::default()
+        };
+        let text = all_carrier_reports(&ds);
+        assert!(text.contains("Carrier profile: A"));
+        assert!(text.contains("Carrier profile: B"));
+        assert!(text.contains("fleet: 0 devices"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Plain-text rendering of tables and CDF series, shared by the `repro`
+//! harness and the examples.
+
+use crate::cdf::Cdf;
+use std::fmt::Write as _;
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(header_line, "{h:<w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", header_line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Renders one or more labeled CDFs as percentile rows (one row per
+/// percentile, one column per series) — the textual form of each figure.
+pub fn render_cdfs(title: &str, series: &[(&str, &Cdf)], unit: &str) -> String {
+    let percentiles = [5, 10, 25, 50, 75, 80, 90, 95, 99];
+    let headers: Vec<String> = std::iter::once("pct".to_string())
+        .chain(series.iter().map(|(name, _)| name.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = percentiles
+        .iter()
+        .map(|&p| {
+            let mut row = vec![format!("p{p}")];
+            for (_, cdf) in series {
+                row.push(
+                    cdf.quantile(p as f64 / 100.0)
+                        .map(|v| format!("{v:.1}{unit}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row
+        })
+        .collect();
+    let mut out = render_table(title, &header_refs, &rows);
+    let counts: Vec<String> = series
+        .iter()
+        .map(|(name, cdf)| format!("{name}: n={}", cdf.len()))
+        .collect();
+    let _ = writeln!(out, "[{}]", counts.join(", "));
+    out
+}
+
+/// Renders labeled CDFs as an ASCII plot (x = value up to the pooled p99,
+/// y = cumulative fraction), one glyph per series. Used by the repro
+/// harness for the single-panel figures.
+pub fn render_ascii_cdf(series: &[(&str, &Cdf)], unit: &str, width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let width = width.clamp(20, 160);
+    let height = height.clamp(5, 40);
+    let nonempty: Vec<&(&str, &Cdf)> = series.iter().filter(|(_, c)| !c.is_empty()).collect();
+    if nonempty.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let x_min = nonempty
+        .iter()
+        .filter_map(|(_, c)| c.quantile(0.0))
+        .fold(f64::MAX, f64::min);
+    let x_max = nonempty
+        .iter()
+        .filter_map(|(_, c)| c.quantile(0.99))
+        .fold(f64::MIN, f64::max);
+    let span = (x_max - x_min).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, cdf)) in nonempty.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (col, column) in (0..width).zip(0..) {
+            let x = x_min + span * col as f64 / (width - 1) as f64;
+            let f = cdf.fraction_leq(x);
+            let row = ((1.0 - f) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][column] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{frac:>4.2} |")
+        } else {
+            String::from("     |")
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label}{}", line.trim_end());
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "      {:<w$}{:>w2$}",
+        format!("{x_min:.0}{unit}"),
+        format!("{x_max:.0}{unit} (p99)"),
+        w = width / 2,
+        w2 = width - width / 2,
+    );
+    let legend: Vec<String> = nonempty
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+        .collect();
+    let _ = writeln!(out, "      [{}]", legend.join("   "));
+    out
+}
+
+/// CSV form of labeled CDF series (value, cumulative fraction per series).
+pub fn cdfs_csv(series: &[(&str, &Cdf)], points: usize) -> String {
+    let mut out = String::from("series,value,cum_frac\n");
+    for (name, cdf) in series {
+        for (v, q) in cdf.series(points) {
+            let _ = writeln!(out, "{name},{v:.3},{q:.4}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let t = render_table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "22222".into()],
+            ],
+        );
+        assert!(t.contains("== Demo =="));
+        assert!(t.contains("alpha"));
+        assert!(t.contains("22222"));
+        // All data lines have the same column start for the second column.
+        let lines: Vec<&str> = t.lines().skip(1).collect();
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1'), Some(col));
+    }
+
+    #[test]
+    fn cdf_render_contains_percentiles() {
+        let c = Cdf::new((1..=100).map(|x| x as f64).collect());
+        let s = render_cdfs("Fig X", &[("local", &c)], "ms");
+        assert!(s.contains("p50"));
+        // Nearest-rank on 1..=100 at q=0.5 lands on the 51st sample.
+        assert!(s.contains("51.0ms"));
+        assert!(s.contains("n=100"));
+    }
+
+    #[test]
+    fn empty_cdf_renders_dashes() {
+        let c = Cdf::default();
+        let s = render_cdfs("Fig Y", &[("empty", &c)], "ms");
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn ascii_plot_renders_monotone_curves() {
+        let fast = Cdf::new((10..110).map(|x| x as f64).collect());
+        let slow = Cdf::new((50..250).map(|x| x as f64).collect());
+        let plot = render_ascii_cdf(&[("fast", &fast), ("slow", &slow)], "ms", 60, 12);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("fast"));
+        assert!(plot.contains("1.00 |"));
+        assert!(plot.contains("0.00 |"));
+        // The fast curve's glyph appears left of the slow curve's at the top.
+        let top_star = plot.lines().position(|l| l.contains('*')).unwrap();
+        let top_o = plot.lines().position(|l| l.contains('o')).unwrap();
+        assert!(top_star <= top_o, "fast curve should reach 1.0 first");
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_series() {
+        let empty = Cdf::default();
+        let plot = render_ascii_cdf(&[("none", &empty)], "ms", 40, 8);
+        assert_eq!(plot, "(no samples)\n");
+    }
+
+    #[test]
+    fn csv_has_rows_per_series() {
+        let c = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let csv = cdfs_csv(&[("a", &c), ("b", &c)], 4);
+        assert_eq!(csv.lines().count(), 1 + 8);
+        assert!(csv.starts_with("series,value,cum_frac"));
+    }
+}

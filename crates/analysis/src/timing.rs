@@ -1,0 +1,191 @@
+//! Resolution-time extraction for Figs. 3, 5, 6, 7, and 13.
+
+use crate::cdf::Cdf;
+use cellsim::radio::RadioTech;
+use measure::record::{Dataset, ResolverKind};
+use std::collections::BTreeMap;
+
+/// Milliseconds from a microsecond option.
+fn ms(us: Option<u32>) -> Option<f64> {
+    us.map(|u| u as f64 / 1000.0)
+}
+
+/// Fig. 3: per carrier, DNS resolution time (local resolver) grouped by the
+/// radio technology active during the resolution.
+pub fn resolution_by_radio(ds: &Dataset, carrier: usize) -> BTreeMap<RadioTech, Cdf> {
+    let mut buckets: BTreeMap<RadioTech, Vec<f64>> = BTreeMap::new();
+    for r in ds.of_carrier(carrier) {
+        for l in &r.lookups {
+            if l.resolver == ResolverKind::Local && l.attempt == 1 {
+                if let Some(v) = ms(l.elapsed_us) {
+                    buckets.entry(r.radio).or_default().push(v);
+                }
+            }
+        }
+    }
+    buckets.into_iter().map(|(k, v)| (k, Cdf::new(v))).collect()
+}
+
+/// Figs. 5/6 and 13: per carrier, resolution-time CDF for one resolver kind
+/// (first lookups only, so cache state matches the paper's methodology).
+pub fn resolution_cdf(ds: &Dataset, carrier: usize, kind: ResolverKind) -> Cdf {
+    Cdf::from_iter(ds.of_carrier(carrier).flat_map(|r| {
+        r.lookups
+            .iter()
+            .filter(move |l| l.resolver == kind && l.attempt == 1)
+            .filter_map(|l| ms(l.elapsed_us))
+    }))
+}
+
+/// Fig. 7: first vs second back-to-back lookup CDFs, US carriers combined
+/// (pass the US carrier indices).
+pub fn cache_comparison(ds: &Dataset, carriers: &[usize]) -> (Cdf, Cdf) {
+    let collect = |attempt: u8| {
+        Cdf::from_iter(
+            ds.records
+                .iter()
+                .filter(|r| carriers.contains(&(r.carrier as usize)))
+                .flat_map(move |r| {
+                    r.lookups
+                        .iter()
+                        .filter(move |l| {
+                            l.resolver == ResolverKind::Local && l.attempt == attempt
+                        })
+                        .filter_map(|l| ms(l.elapsed_us))
+                }),
+        )
+    };
+    (collect(1), collect(2))
+}
+
+/// Estimated cache-miss fraction from the back-to-back pair: the fraction
+/// of first lookups that took at least `threshold_ms` longer than their
+/// paired second lookup.
+pub fn cache_miss_fraction(ds: &Dataset, carriers: &[usize], threshold_ms: f64) -> f64 {
+    let mut pairs = 0usize;
+    let mut misses = 0usize;
+    for r in ds
+        .records
+        .iter()
+        .filter(|r| carriers.contains(&(r.carrier as usize)))
+    {
+        // lookups are ordered attempt 1 then attempt 2 per (domain, kind).
+        let locals: Vec<_> = r
+            .lookups
+            .iter()
+            .filter(|l| l.resolver == ResolverKind::Local)
+            .collect();
+        for pair in locals.chunks(2) {
+            if let [first, second] = pair {
+                if let (Some(a), Some(b)) = (ms(first.elapsed_us), ms(second.elapsed_us)) {
+                    pairs += 1;
+                    if a - b >= threshold_ms {
+                        misses += 1;
+                    }
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        misses as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::name::DnsName;
+    use measure::record::{DnsTiming, ExperimentRecord};
+    use netsim::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn record(carrier: u8, radio: RadioTech, locals_us: &[(u8, Option<u32>)]) -> ExperimentRecord {
+        ExperimentRecord {
+            device_id: 0,
+            carrier,
+            t: SimTime::ZERO,
+            radio,
+            x_km: 0.0,
+            y_km: 0.0,
+            is_static: true,
+            device_ip: Ipv4Addr::new(10, 0, 0, 1),
+            gateway_site: 0,
+            configured_dns: Ipv4Addr::new(100, 0, 0, 1),
+            lookups: locals_us
+                .iter()
+                .map(|&(attempt, us)| DnsTiming {
+                    resolver: ResolverKind::Local,
+                    resolver_addr: Ipv4Addr::new(100, 0, 0, 1),
+                    domain_idx: 0,
+                    attempt,
+                    elapsed_us: us,
+                    addrs: vec![],
+                })
+                .collect(),
+            identities: vec![],
+            resolver_probes: vec![],
+            replica_probes: vec![],
+        }
+    }
+
+    fn dataset(records: Vec<ExperimentRecord>) -> Dataset {
+        Dataset {
+            records,
+            domains: vec![DnsName::parse("m.yelp.com").unwrap()],
+            carrier_names: vec!["A".into(), "B".into()],
+            ..Dataset::default()
+        }
+    }
+
+    #[test]
+    fn groups_by_radio() {
+        let ds = dataset(vec![
+            record(0, RadioTech::Lte, &[(1, Some(40_000))]),
+            record(0, RadioTech::Umts, &[(1, Some(200_000))]),
+            record(1, RadioTech::Lte, &[(1, Some(42_000))]),
+        ]);
+        let by_radio = resolution_by_radio(&ds, 0);
+        assert_eq!(by_radio.len(), 2);
+        assert_eq!(by_radio[&RadioTech::Lte].median(), Some(40.0));
+        assert_eq!(by_radio[&RadioTech::Umts].median(), Some(200.0));
+    }
+
+    #[test]
+    fn resolution_cdf_filters_attempt_and_kind() {
+        let ds = dataset(vec![record(
+            0,
+            RadioTech::Lte,
+            &[(1, Some(50_000)), (2, Some(10_000))],
+        )]);
+        let c = resolution_cdf(&ds, 0, ResolverKind::Local);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.median(), Some(50.0));
+    }
+
+    #[test]
+    fn cache_comparison_splits_attempts() {
+        let ds = dataset(vec![record(
+            0,
+            RadioTech::Lte,
+            &[(1, Some(90_000)), (2, Some(30_000))],
+        )]);
+        let (first, second) = cache_comparison(&ds, &[0]);
+        assert_eq!(first.median(), Some(90.0));
+        assert_eq!(second.median(), Some(30.0));
+    }
+
+    #[test]
+    fn miss_fraction_thresholds() {
+        let ds = dataset(vec![
+            record(0, RadioTech::Lte, &[(1, Some(90_000)), (2, Some(30_000))]),
+            record(0, RadioTech::Lte, &[(1, Some(31_000)), (2, Some(30_000))]),
+        ]);
+        let f = cache_miss_fraction(&ds, &[0], 20.0);
+        assert!((f - 0.5).abs() < 1e-12);
+        // Timeouts are excluded from pairs.
+        let ds2 = dataset(vec![record(0, RadioTech::Lte, &[(1, None), (2, Some(1))])]);
+        assert_eq!(cache_miss_fraction(&ds2, &[0], 20.0), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the analysis toolkit: CDF algebra, cosine
+//! similarity bounds, and KS-statistic behaviour.
+
+use analysis::{Cdf, ReplicaMap};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10_000.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_are_monotone_and_within_range(samples in arb_samples()) {
+        let cdf = Cdf::new(samples.clone());
+        let lo = cdf.quantile(0.0).unwrap();
+        let hi = cdf.quantile(1.0).unwrap();
+        let mut prev = lo;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantiles not monotone");
+            prop_assert!(v >= lo && v <= hi);
+            prev = v;
+        }
+        let mean = cdf.mean().unwrap();
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    #[test]
+    fn fraction_leq_is_monotone_from_zero_to_one(samples in arb_samples()) {
+        let cdf = Cdf::new(samples);
+        let mut prev = 0.0;
+        for i in 0..=40 {
+            let x = i as f64 * 250.0;
+            let f = cdf.fraction_leq(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(cdf.fraction_leq(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn series_is_a_valid_cdf_sketch(samples in arb_samples(), points in 1usize..40) {
+        let cdf = Cdf::new(samples);
+        let series = cdf.series(points);
+        prop_assert_eq!(series.len(), points);
+        for w in series.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative_in_distribution(a in arb_samples(), b in arb_samples()) {
+        let ab = Cdf::new(a.clone()).merge(&Cdf::new(b.clone()));
+        let ba = Cdf::new(b).merge(&Cdf::new(a));
+        prop_assert_eq!(ab.samples(), ba.samples());
+    }
+
+    #[test]
+    fn ks_statistic_is_a_bounded_symmetric_premetric(a in arb_samples(), b in arb_samples()) {
+        let ca = Cdf::new(a);
+        let cb = Cdf::new(b);
+        let d = ca.ks_statistic(&cb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - cb.ks_statistic(&ca)).abs() < 1e-12, "not symmetric");
+        prop_assert!(ca.ks_statistic(&ca) < 1e-12, "not reflexive");
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded_and_symmetric(
+        a_obs in proptest::collection::vec((0u8..32, 1usize..5), 1..40),
+        b_obs in proptest::collection::vec((0u8..32, 1usize..5), 1..40),
+    ) {
+        let build = |obs: &[(u8, usize)]| {
+            let mut m = ReplicaMap::default();
+            for &(ip, n) in obs {
+                for _ in 0..n {
+                    m.observe(Ipv4Addr::new(90, 0, ip, 1));
+                }
+            }
+            m
+        };
+        let ma = build(&a_obs);
+        let mb = build(&b_obs);
+        let sim = ma.cosine_similarity(&mb);
+        prop_assert!((0.0..=1.0).contains(&sim), "similarity {sim} out of bounds");
+        prop_assert!((sim - mb.cosine_similarity(&ma)).abs() < 1e-12);
+        // Self-similarity is exactly 1.
+        prop_assert!((ma.cosine_similarity(&ma) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_map_ratios_form_a_distribution(
+        obs in proptest::collection::vec(0u8..64, 1..100),
+    ) {
+        let mut m = ReplicaMap::default();
+        for ip in &obs {
+            m.observe(Ipv4Addr::new(91, 0, *ip, 1));
+        }
+        prop_assert_eq!(m.total(), obs.len());
+        let sum: f64 = m.iter().map(|(ip, _)| m.ratio(ip)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (_, count) in m.iter() {
+            prop_assert!(count >= 1);
+        }
+    }
+}

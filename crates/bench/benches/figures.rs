@@ -1,0 +1,57 @@
+//! One Criterion bench per *figure* of the paper: each regenerates the
+//! figure's series from a shared quick-scale campaign dataset, so
+//! `cargo bench` exercises the full per-figure pipeline.
+
+use bench::bench_dataset;
+use cdns::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.bench_function("fig2_replica_inflation", |b| {
+        b.iter(|| black_box(figures::fig2(ds)))
+    });
+    group.bench_function("fig3_radio_bands", |b| {
+        b.iter(|| black_box(figures::fig3(ds)))
+    });
+    group.bench_function("fig4_resolver_distance", |b| {
+        b.iter(|| black_box(figures::fig4(ds)))
+    });
+    group.bench_function("fig5_resolution_us", |b| {
+        b.iter(|| black_box(figures::fig5(ds)))
+    });
+    group.bench_function("fig6_resolution_sk", |b| {
+        b.iter(|| black_box(figures::fig6(ds)))
+    });
+    group.bench_function("fig7_cache_pairs", |b| {
+        b.iter(|| black_box(figures::fig7(ds)))
+    });
+    group.bench_function("fig8_resolver_churn", |b| {
+        b.iter(|| black_box(figures::fig8(ds)))
+    });
+    group.bench_function("fig9_static_churn", |b| {
+        b.iter(|| black_box(figures::fig9(ds)))
+    });
+    group.bench_function("fig10_cosine_similarity", |b| {
+        b.iter(|| black_box(figures::fig10(ds)))
+    });
+    group.bench_function("fig11_public_dns_distance", |b| {
+        b.iter(|| black_box(figures::fig11(ds)))
+    });
+    group.bench_function("fig12_google_churn", |b| {
+        b.iter(|| black_box(figures::fig12(ds)))
+    });
+    group.bench_function("fig13_resolution_comparison", |b| {
+        b.iter(|| black_box(figures::fig13(ds)))
+    });
+    group.bench_function("fig14_relative_replica_latency", |b| {
+        b.iter(|| black_box(figures::fig14(ds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

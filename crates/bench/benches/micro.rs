@@ -1,0 +1,172 @@
+//! Microbenchmarks of the substrates: wire codec, resolver cache, route
+//! computation, engine throughput, and the cosine-similarity kernel.
+
+use cdns::analysis::ReplicaMap;
+use cdns::dnssim::cache::DnsCache;
+use cdns::dnswire::builder::{QueryBuilder, ResponseBuilder};
+use cdns::dnswire::message::{Message, Rcode, ResourceRecord};
+use cdns::dnswire::name::DnsName;
+use cdns::dnswire::rdata::{RData, RecordType};
+use cdns::netsim::engine::Network;
+use cdns::netsim::latency::LatencyModel;
+use cdns::netsim::route::RouteTable;
+use cdns::netsim::time::{SimDuration, SimTime};
+use cdns::netsim::topo::{Asn, Coord, NodeKind, Topology};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_message() -> Message {
+    let q = QueryBuilder::new(7, "m.yelp.com", RecordType::A)
+        .recursion_desired(true)
+        .build()
+        .unwrap();
+    ResponseBuilder::for_query(&q)
+        .authoritative(true)
+        .answer_cname(
+            DnsName::parse("m.yelp.com").unwrap(),
+            300,
+            DnsName::parse("e1234.edge.cdn-b.example").unwrap(),
+        )
+        .answer_a(
+            DnsName::parse("e1234.edge.cdn-b.example").unwrap(),
+            30,
+            Ipv4Addr::new(91, 0, 3, 1),
+        )
+        .answer_a(
+            DnsName::parse("e1234.edge.cdn-b.example").unwrap(),
+            30,
+            Ipv4Addr::new(91, 0, 7, 1),
+        )
+        .build()
+}
+
+fn bench_dnswire(c: &mut Criterion) {
+    let msg = sample_message();
+    let bytes = msg.encode().unwrap();
+    let mut group = c.benchmark_group("dnswire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_cdn_response", |b| {
+        b.iter(|| black_box(msg.encode().unwrap()))
+    });
+    group.bench_function("decode_cdn_response", |b| {
+        b.iter(|| black_box(Message::decode(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolver_cache");
+    group.bench_function("insert_lookup_cycle", |b| {
+        let mut cache = DnsCache::new(10_000, SimDuration::from_hours(24));
+        let name = DnsName::parse("m.yelp.com").unwrap();
+        let rr = ResourceRecord::new(name.clone(), 30, RData::A(Ipv4Addr::new(91, 0, 3, 1)));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            let now = SimTime::from_micros(t);
+            cache.insert(
+                (name.clone(), RecordType::A, None),
+                vec![rr.clone()],
+                Rcode::NoError,
+                SimDuration::from_secs(30),
+                now,
+            );
+            black_box(cache.lookup(&(name.clone(), RecordType::A, None), now))
+        })
+    });
+    group.finish();
+}
+
+fn grid_topology(n_side: usize) -> Topology {
+    let mut t = Topology::new();
+    let mut ids = Vec::new();
+    for i in 0..n_side * n_side {
+        let id = t.add_node(
+            format!("n{i}"),
+            NodeKind::Router,
+            Asn(1),
+            Coord {
+                x_km: (i % n_side) as f64 * 100.0,
+                y_km: (i / n_side) as f64 * 100.0,
+            },
+            vec![Ipv4Addr::new(10, (i / 250) as u8, ((i % 250) + 1) as u8, 1)],
+        );
+        ids.push(id);
+    }
+    for i in 0..n_side * n_side {
+        if i % n_side + 1 < n_side {
+            t.add_link(ids[i], ids[i + 1], LatencyModel::constant_ms(1));
+        }
+        if i + n_side < n_side * n_side {
+            t.add_link(ids[i], ids[i + n_side], LatencyModel::constant_ms(1));
+        }
+    }
+    t
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(20);
+    group.bench_function("route_table_20x20_grid", |b| {
+        b.iter_with_setup(|| grid_topology(20), |t| black_box(RouteTable::build(&t)))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("ping_across_10_hops", |b| {
+        let mut t = Topology::new();
+        let mut prev = t.add_node(
+            "h0",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![Ipv4Addr::new(10, 0, 0, 1)],
+        );
+        for i in 1..=10u8 {
+            let node = t.add_node(
+                format!("h{i}"),
+                NodeKind::Router,
+                Asn(1),
+                Coord::default(),
+                vec![Ipv4Addr::new(10, 0, 0, i + 1)],
+            );
+            t.add_link(prev, node, LatencyModel::constant_ms(1));
+            prev = node;
+        }
+        let mut net = Network::new(t, 1);
+        let src = cdns::netsim::topo::NodeId(0);
+        let dst = Ipv4Addr::new(10, 0, 0, 11);
+        b.iter(|| {
+            let flow = net.ping(src, dst, SimDuration::from_secs(2));
+            black_box(net.run_until(flow))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut a = ReplicaMap::default();
+    let mut bm = ReplicaMap::default();
+    for i in 0..32u8 {
+        for _ in 0..(i as usize + 1) {
+            a.observe(Ipv4Addr::new(90, 0, i, 1));
+            bm.observe(Ipv4Addr::new(90, 0, i % 24, 1));
+        }
+    }
+    c.bench_function("cosine_similarity_32_replicas", |b| {
+        b.iter(|| black_box(a.cosine_similarity(&bm)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dnswire,
+    bench_cache,
+    bench_routing,
+    bench_engine,
+    bench_cosine
+);
+criterion_main!(benches);

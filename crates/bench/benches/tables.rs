@@ -1,0 +1,35 @@
+//! One Criterion bench per *table* of the paper, plus the §5.2 egress
+//! count, regenerated from the shared campaign dataset.
+
+use bench::bench_dataset;
+use cdns::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(20);
+    group.bench_function("table1_fleet", |b| {
+        b.iter(|| black_box(figures::table1(ds)))
+    });
+    group.bench_function("table2_domains", |b| {
+        b.iter(|| black_box(figures::table2(ds)))
+    });
+    group.bench_function("table3_ldns_pairs", |b| {
+        b.iter(|| black_box(figures::table3(ds)))
+    });
+    group.bench_function("table4_reachability", |b| {
+        b.iter(|| black_box(figures::table4(ds)))
+    });
+    group.bench_function("table5_resolver_counts", |b| {
+        b.iter(|| black_box(figures::table5(ds)))
+    });
+    group.bench_function("sec52_egress_points", |b| {
+        b.iter(|| black_box(figures::egress(ds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

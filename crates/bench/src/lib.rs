@@ -1,0 +1,26 @@
+//! Shared helpers for the Criterion benchmark suite: a lazily-built quick
+//! campaign dataset reused by the per-figure and per-table benches.
+
+use cdns::measure::record::Dataset;
+use cdns::{Study, StudyConfig};
+use std::sync::OnceLock;
+
+/// A quick-scale campaign dataset, built once per bench process.
+pub fn bench_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let mut study = Study::new(StudyConfig::quick(0xBEEF));
+        study.run()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dataset_builds_once() {
+        let a = super::bench_dataset();
+        let b = super::bench_dataset();
+        assert!(std::ptr::eq(a, b));
+        assert!(!a.records.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for cellsim: bearer-state invariants under
+//! arbitrary churn sequences.
+
+use cellsim::build::{build_carrier, GeoRegion};
+use cellsim::device::create_devices;
+use cellsim::profile::six_carriers;
+use netsim::addr::Prefix;
+use netsim::engine::Network;
+use netsim::time::SimTime;
+use netsim::topo::{Asn, Coord, NodeKind, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// Churn operations a campaign performs on a device.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    ReassignIp,
+    DailyChurn,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![Just(Op::ReassignIp), Just(Op::DailyChurn)],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bearer_invariants_hold_under_arbitrary_churn(
+        ops in arb_ops(),
+        seed in any::<u64>(),
+        carrier_idx in 0usize..6,
+    ) {
+        let mut topo = Topology::new();
+        let pop = topo.add_node(
+            "pop",
+            NodeKind::Router,
+            Asn(3356),
+            Coord { x_km: 2000.0, y_km: 1200.0 },
+            vec![Ipv4Addr::new(80, 0, 0, 1)],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = six_carriers().remove(carrier_idx);
+        let region = match profile.country {
+            cellsim::profile::Country::Us => GeoRegion::us(),
+            cellsim::profile::Country::SouthKorea => GeoRegion::south_korea(),
+        };
+        let mut carrier = build_carrier(
+            &mut topo,
+            carrier_idx,
+            profile,
+            region,
+            &[(pop, Coord { x_km: 2000.0, y_km: 1200.0 })],
+            &mut rng,
+        );
+        let mut devices = create_devices(&mut topo, &mut carrier, 0, &mut rng);
+        let mut net = Network::new(topo, seed ^ 1);
+        let d = &mut devices[0];
+        let mut t = SimTime::from_micros(1);
+        for op in ops {
+            t += netsim::time::SimDuration::from_hours(1);
+            match op {
+                Op::ReassignIp => {
+                    d.reassign_ip(&mut net, &mut carrier, &mut rng, t, 0.5);
+                }
+                Op::DailyChurn => {
+                    d.daily_churn(&mut net, &mut carrier, &mut rng);
+                }
+            }
+            // Invariant 1: the device owns its IP in the topology.
+            prop_assert_eq!(net.topo().owner_of(d.ip), Some(d.node));
+            // Invariant 2: the IP encodes the attached site's pool.
+            prop_assert!(d.ip.octets()[0] == 10);
+            prop_assert_eq!((d.ip.octets()[2] / 2) as usize, d.site);
+            // Invariant 3: the configured resolver is a real client-facing
+            // address of this carrier.
+            prop_assert!(
+                carrier.client_facing_addrs.contains(&d.configured_dns),
+                "configured {:?} not in client-facing set",
+                d.configured_dns
+            );
+            // Invariant 4: the site index is valid and the radio link ends
+            // at that site's aggregation node.
+            prop_assert!(d.site < carrier.sites.len());
+            let link = net.topo().link(d.radio_link);
+            let peer = if link.a == d.node { link.b } else { link.a };
+            prop_assert_eq!(peer, carrier.sites[d.site].agg);
+            // Invariant 5: the ECS map covers the device's current /24.
+            let map = carrier.ecs_map();
+            prop_assert!(
+                map.contains_key(&Prefix::slash24_of(d.ip)),
+                "ecs map missing {:?}",
+                d.ip
+            );
+        }
+    }
+}

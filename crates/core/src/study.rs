@@ -1,0 +1,76 @@
+//! The top-level study object: build a world, run the campaign, keep the
+//! dataset — the one-stop API a downstream user drives.
+
+use measure::campaign::{run_campaign, CampaignConfig};
+use measure::record::Dataset;
+use measure::world::{build_world, World, WorldConfig};
+
+/// Full study configuration: the world to simulate and the campaign to run
+/// on it.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct StudyConfig {
+    /// World (topology/fleet) configuration.
+    pub world: WorldConfig,
+    /// Campaign (schedule/probing) configuration.
+    pub campaign: CampaignConfig,
+}
+
+
+impl StudyConfig {
+    /// Paper-scale world, standard six-week campaign (the `repro` default).
+    pub fn standard(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            },
+            campaign: CampaignConfig::default(),
+        }
+    }
+
+    /// Reduced world and campaign for tests, examples, and benches.
+    pub fn quick(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig::quick(seed),
+            campaign: CampaignConfig::quick(),
+        }
+    }
+}
+
+/// A study in progress: the simulated world plus the campaign output.
+pub struct Study {
+    /// The simulated world.
+    pub world: World,
+    /// Campaign configuration.
+    pub campaign: CampaignConfig,
+}
+
+impl Study {
+    /// Builds the world for `config`.
+    pub fn new(config: StudyConfig) -> Self {
+        Study {
+            world: build_world(config.world),
+            campaign: config.campaign,
+        }
+    }
+
+    /// Runs the configured campaign and returns the dataset.
+    pub fn run(&mut self) -> Dataset {
+        run_campaign(&mut self.world, &self.campaign.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_runs_end_to_end() {
+        let mut study = Study::new(StudyConfig::quick(1));
+        let ds = study.run();
+        assert!(!ds.records.is_empty());
+        assert_eq!(ds.carrier_names.len(), 6);
+        assert_eq!(ds.domains.len(), 9);
+    }
+}

@@ -1,0 +1,445 @@
+//! Resolver cache with TTL decay, negative caching, a capacity bound, and
+//! an ambient-load warmth model.
+//!
+//! The ambient model stands in for the background query load a production
+//! resolver sees from its *other* users (our fleet is 158 devices; a real
+//! carrier resolver serves millions). Without it, every CDN record (TTL
+//! 20–60 s) would be cold at every hourly experiment and Fig. 7's ~20% miss
+//! rate could not emerge. Instead of simulating millions of phantom queries,
+//! each resolver carries a deterministic refresh phase: a stale entry is
+//! considered "kept warm by another user" whenever an imaginary periodic
+//! refresher would have re-queried it within the entry's TTL. See DESIGN.md
+//! (substitutions) and the `ablate_ambient` bench.
+
+use dnswire::message::{Rcode, ResourceRecord};
+use dnswire::name::DnsName;
+use dnswire::rdata::RecordType;
+use netsim::addr::Prefix;
+use netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Cache key: owner name, record type, and — for ECS-partitioned entries
+/// (RFC 7871 §7.3) — the client subnet the answer was scoped to.
+pub type CacheKey = (DnsName, RecordType, Option<Prefix>);
+
+/// Deterministic stand-in for background query load (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmbientModel {
+    /// Imaginary refresher period. Warm probability for an entry with TTL
+    /// `T` is `min(1, T / period)`.
+    pub period: SimDuration,
+    /// Per-resolver phase so instances are not synchronized.
+    pub phase: SimDuration,
+}
+
+impl AmbientModel {
+    /// Whether the imaginary refresher has queried within `ttl` before
+    /// `now`, i.e. whether a stale entry should count as warm.
+    pub fn is_warm(&self, now: SimTime, ttl: SimDuration) -> bool {
+        let period = self.period.as_micros().max(1);
+        ((now.as_micros() + self.phase.as_micros()) % period) < ttl.as_micros()
+    }
+}
+
+/// What the cache stores for one key.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Positive records (empty for negative entries).
+    records: Vec<ResourceRecord>,
+    /// Response code at insertion (NxDomain for negatives).
+    rcode: Rcode,
+    /// Absolute expiry.
+    expires_at: SimTime,
+    /// Original TTL, to rebase on hits and drive the ambient model.
+    original_ttl: SimDuration,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheOutcome {
+    /// Fresh (or ambient-warm) records.
+    Hit {
+        /// The cached records with TTLs rebased to remaining lifetime.
+        records: Vec<ResourceRecord>,
+        /// Cached response code.
+        rcode: Rcode,
+    },
+    /// Nothing usable.
+    Miss,
+}
+
+/// Statistics for Fig. 7 style analysis and tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fresh hits.
+    pub hits: u64,
+    /// Hits served by the ambient-warmth rule.
+    pub ambient_hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// The resolver cache.
+#[derive(Debug)]
+pub struct DnsCache {
+    entries: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    max_ttl: SimDuration,
+    ambient: Option<AmbientModel>,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+impl DnsCache {
+    /// An empty cache holding at most `capacity` entries, capping stored
+    /// TTLs at `max_ttl`.
+    pub fn new(capacity: usize, max_ttl: SimDuration) -> Self {
+        DnsCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            max_ttl,
+            ambient: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Enables the ambient-load warmth model.
+    pub fn with_ambient(mut self, ambient: AmbientModel) -> Self {
+        self.ambient = Some(ambient);
+        self
+    }
+
+    /// Number of live entries (including expired-but-unevicted ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts records under `key`. `rcode` is `NxDomain` for negative
+    /// entries; `ttl` is the zone TTL (clamped by the cache's `max_ttl`).
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        records: Vec<ResourceRecord>,
+        rcode: Rcode,
+        ttl: SimDuration,
+        now: SimTime,
+    ) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            self.evict(now);
+        }
+        let ttl = ttl.min(self.max_ttl);
+        self.entries.insert(
+            key,
+            Entry {
+                records,
+                rcode,
+                expires_at: now + ttl,
+                original_ttl: ttl,
+            },
+        );
+    }
+
+    /// Looks up `key`; may refresh a stale entry via the ambient model.
+    pub fn lookup(&mut self, key: &CacheKey, now: SimTime) -> CacheOutcome {
+        let ambient = self.ambient;
+        let Some(entry) = self.entries.get_mut(key) else {
+            self.stats.misses += 1;
+            return CacheOutcome::Miss;
+        };
+        let fresh = now < entry.expires_at;
+        if !fresh {
+            let warm = ambient
+                .map(|a| a.is_warm(now, entry.original_ttl))
+                .unwrap_or(false);
+            if !warm {
+                self.stats.misses += 1;
+                return CacheOutcome::Miss;
+            }
+            // Another (imaginary) user just refreshed this entry.
+            entry.expires_at = now + entry.original_ttl;
+            self.stats.ambient_hits += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        let remaining = entry.expires_at.since(now);
+        let records = entry
+            .records
+            .iter()
+            .map(|rr| {
+                let mut rr = rr.clone();
+                rr.ttl = remaining.as_secs().min(rr.ttl as u64) as u32;
+                rr
+            })
+            .collect();
+        CacheOutcome::Hit {
+            records,
+            rcode: entry.rcode,
+        }
+    }
+
+    /// Evicts expired entries; if none were expired, evicts the entries
+    /// closest to expiry until 10% of capacity is free.
+    fn evict(&mut self, now: SimTime) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        let mut evicted = before - self.entries.len();
+        if self.entries.len() >= self.capacity {
+            let target = self.capacity - self.capacity / 10;
+            let mut by_expiry: Vec<(SimTime, CacheKey)> = self
+                .entries
+                .iter()
+                .map(|(k, e)| (e.expires_at, k.clone()))
+                .collect();
+            by_expiry.sort();
+            for (_, key) in by_expiry {
+                if self.entries.len() < target.max(1) {
+                    break;
+                }
+                self.entries.remove(&key);
+                evicted += 1;
+            }
+        }
+        self.stats.evictions += evicted as u64;
+    }
+
+    /// Drops everything (used when reconfiguring infrastructure mid-run).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn key(name: &str) -> CacheKey {
+        (DnsName::parse(name).unwrap(), RecordType::A, None)
+    }
+
+    fn a_record(name: &str, ttl: u32) -> ResourceRecord {
+        ResourceRecord::new(
+            DnsName::parse(name).unwrap(),
+            ttl,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        )
+    }
+
+    fn cache() -> DnsCache {
+        DnsCache::new(100, SimDuration::from_secs(3600))
+    }
+
+    #[test]
+    fn hit_within_ttl() {
+        let mut c = cache();
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("a.test"),
+            vec![a_record("a.test", 60)],
+            Rcode::NoError,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        let out = c.lookup(&key("a.test"), t0 + SimDuration::from_secs(30));
+        match out {
+            CacheOutcome::Hit { records, rcode } => {
+                assert_eq!(rcode, Rcode::NoError);
+                assert_eq!(records.len(), 1);
+                // TTL rebased to remaining 30s.
+                assert_eq!(records[0].ttl, 30);
+            }
+            CacheOutcome::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats.hits, 1);
+    }
+
+    #[test]
+    fn miss_after_expiry() {
+        let mut c = cache();
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("a.test"),
+            vec![a_record("a.test", 60)],
+            Rcode::NoError,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        let out = c.lookup(&key("a.test"), t0 + SimDuration::from_secs(61));
+        assert_eq!(out, CacheOutcome::Miss);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn negative_entries_are_cached() {
+        let mut c = cache();
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("missing.test"),
+            vec![],
+            Rcode::NxDomain,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        match c.lookup(&key("missing.test"), t0 + SimDuration::from_secs(1)) {
+            CacheOutcome::Hit { records, rcode } => {
+                assert!(records.is_empty());
+                assert_eq!(rcode, Rcode::NxDomain);
+            }
+            CacheOutcome::Miss => panic!("expected negative hit"),
+        }
+    }
+
+    #[test]
+    fn ttl_is_capped() {
+        let mut c = DnsCache::new(10, SimDuration::from_secs(100));
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("a.test"),
+            vec![a_record("a.test", 999_999)],
+            Rcode::NoError,
+            SimDuration::from_secs(999_999),
+            t0,
+        );
+        assert_eq!(
+            c.lookup(&key("a.test"), t0 + SimDuration::from_secs(101)),
+            CacheOutcome::Miss
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let mut c = DnsCache::new(10, SimDuration::from_secs(3600));
+        let t0 = SimTime::ZERO;
+        for i in 0..25 {
+            c.insert(
+                key(&format!("n{i}.test")),
+                vec![a_record(&format!("n{i}.test"), 60)],
+                Rcode::NoError,
+                SimDuration::from_secs(60),
+                t0,
+            );
+        }
+        assert!(c.len() <= 11, "len {}", c.len());
+        assert!(c.stats.evictions > 0);
+    }
+
+    #[test]
+    fn expired_entries_evicted_first() {
+        let mut c = DnsCache::new(10, SimDuration::from_secs(3600));
+        let t0 = SimTime::ZERO;
+        for i in 0..9 {
+            c.insert(
+                key(&format!("old{i}.test")),
+                vec![],
+                Rcode::NoError,
+                SimDuration::from_secs(1),
+                t0,
+            );
+        }
+        let later = t0 + SimDuration::from_secs(100);
+        c.insert(
+            key("keep.test"),
+            vec![a_record("keep.test", 600)],
+            Rcode::NoError,
+            SimDuration::from_secs(600),
+            later,
+        );
+        // Inserting one more at capacity drops the expired ones, not keep.
+        c.insert(
+            key("new.test"),
+            vec![a_record("new.test", 600)],
+            Rcode::NoError,
+            SimDuration::from_secs(600),
+            later,
+        );
+        assert!(matches!(
+            c.lookup(&key("keep.test"), later + SimDuration::from_secs(1)),
+            CacheOutcome::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn ambient_model_revives_stale_entries_in_phase() {
+        let ambient = AmbientModel {
+            period: SimDuration::from_secs(100),
+            phase: SimDuration::ZERO,
+        };
+        let mut c = cache().with_ambient(ambient);
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("pop.test"),
+            vec![a_record("pop.test", 60)],
+            Rcode::NoError,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        // t=150: (150s % 100s)=50s < ttl 60s -> warm.
+        let warm_t = t0 + SimDuration::from_secs(150);
+        assert!(matches!(
+            c.lookup(&key("pop.test"), warm_t),
+            CacheOutcome::Hit { .. }
+        ));
+        assert_eq!(c.stats.ambient_hits, 1);
+        // t=380: (380 % 100)=80 > 60 -> cold... but the warm hit at t=150
+        // rebased expiry to t=210, so check from a fresh cache state.
+        let mut c2 = cache().with_ambient(ambient);
+        c2.insert(
+            key("pop.test"),
+            vec![a_record("pop.test", 60)],
+            Rcode::NoError,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        let cold_t = t0 + SimDuration::from_secs(380);
+        assert_eq!(c2.lookup(&key("pop.test"), cold_t), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn ambient_warm_fraction_tracks_ttl_over_period() {
+        let ambient = AmbientModel {
+            period: SimDuration::from_secs(300),
+            phase: SimDuration::from_secs(17),
+        };
+        let ttl = SimDuration::from_secs(60);
+        let mut warm = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let t = SimTime::from_micros(i as u64 * 1_234_567);
+            if ambient.is_warm(t, ttl) {
+                warm += 1;
+            }
+        }
+        let frac = warm as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "warm fraction {frac}");
+    }
+
+    #[test]
+    fn update_overwrites_without_eviction() {
+        let mut c = DnsCache::new(1, SimDuration::from_secs(3600));
+        let t0 = SimTime::ZERO;
+        c.insert(
+            key("a.test"),
+            vec![a_record("a.test", 60)],
+            Rcode::NoError,
+            SimDuration::from_secs(60),
+            t0,
+        );
+        c.insert(
+            key("a.test"),
+            vec![a_record("a.test", 90)],
+            Rcode::NoError,
+            SimDuration::from_secs(90),
+            t0,
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats.evictions, 0);
+    }
+}

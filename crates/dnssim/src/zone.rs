@@ -1,0 +1,324 @@
+//! Zone storage and authoritative lookup semantics: exact answers, CNAME
+//! chasing within the zone, delegations with glue, NODATA and NXDOMAIN.
+
+use dnswire::message::{Rcode, ResourceRecord};
+use dnswire::name::DnsName;
+use dnswire::rdata::{RData, RecordType, SoaData};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The outcome of an authoritative lookup, ready to be placed into a
+/// response message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneAnswer {
+    /// Response code.
+    pub rcode: Rcode,
+    /// Answer-section records.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority-section records (NS for referrals, SOA for negatives).
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional-section records (glue).
+    pub additionals: Vec<ResourceRecord>,
+    /// Whether the server is authoritative for this answer (false for
+    /// referrals).
+    pub authoritative: bool,
+    /// ECS scope to echo (RFC 7871): `Some(n)` means "this answer is valid
+    /// for the announced subnet at /n granularity". CDN mapping zones set
+    /// 24; everything else leaves `None`.
+    pub ecs_scope: Option<u8>,
+}
+
+impl ZoneAnswer {
+    /// An empty authoritative NOERROR answer.
+    pub fn empty() -> Self {
+        ZoneAnswer {
+            rcode: Rcode::NoError,
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            authoritative: true,
+            ecs_scope: None,
+        }
+    }
+}
+
+/// One DNS zone: an origin, a SOA, and a record set.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    origin: DnsName,
+    soa: SoaData,
+    soa_ttl: u32,
+    /// (name, type) -> records. BTreeMap for deterministic iteration.
+    records: BTreeMap<(DnsName, RecordType), Vec<ResourceRecord>>,
+    /// Delegated child zones (cut points) -> NS host names.
+    cuts: BTreeMap<DnsName, Vec<DnsName>>,
+}
+
+impl Zone {
+    /// A new zone with a standard SOA.
+    pub fn new(origin: DnsName) -> Self {
+        let mname = origin.child("ns1").unwrap_or_else(|_| origin.clone());
+        let rname = origin
+            .child("hostmaster")
+            .unwrap_or_else(|_| origin.clone());
+        Zone {
+            origin,
+            soa: SoaData {
+                mname,
+                rname,
+                serial: 2014_1105,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 60,
+            },
+            soa_ttl: 3600,
+            records: BTreeMap::new(),
+            cuts: BTreeMap::new(),
+        }
+    }
+
+    /// The zone origin.
+    pub fn origin(&self) -> &DnsName {
+        &self.origin
+    }
+
+    /// Adds a record; the owner must be at or under the origin.
+    pub fn add(&mut self, rr: ResourceRecord) {
+        assert!(
+            rr.name.is_under(&self.origin),
+            "{} outside zone {}",
+            rr.name,
+            self.origin
+        );
+        self.records
+            .entry((rr.name.clone(), rr.record_type()))
+            .or_default()
+            .push(rr);
+    }
+
+    /// Convenience: adds an A record.
+    pub fn add_a(&mut self, name: DnsName, ttl: u32, addr: Ipv4Addr) {
+        self.add(ResourceRecord::new(name, ttl, RData::A(addr)));
+    }
+
+    /// Convenience: adds a CNAME record.
+    pub fn add_cname(&mut self, name: DnsName, ttl: u32, target: DnsName) {
+        self.add(ResourceRecord::new(name, ttl, RData::Cname(target)));
+    }
+
+    /// Delegates `child` to the given name servers with glue addresses.
+    /// `child` must be strictly under the origin.
+    pub fn delegate(&mut self, child: DnsName, servers: Vec<(DnsName, Ipv4Addr)>) {
+        assert!(
+            child.is_under(&self.origin) && child != self.origin,
+            "bad delegation {child} in {}",
+            self.origin
+        );
+        let mut ns_names = Vec::new();
+        for (ns, glue) in servers {
+            self.records
+                .entry((child.clone(), RecordType::Ns))
+                .or_default()
+                .push(ResourceRecord::new(
+                    child.clone(),
+                    86_400,
+                    RData::Ns(ns.clone()),
+                ));
+            self.records
+                .entry((ns.clone(), RecordType::A))
+                .or_default()
+                .push(ResourceRecord::new(ns.clone(), 86_400, RData::A(glue)));
+            ns_names.push(ns);
+        }
+        self.cuts.insert(child, ns_names);
+    }
+
+    /// The SOA record for negative answers.
+    fn soa_record(&self) -> ResourceRecord {
+        ResourceRecord::new(self.origin.clone(), self.soa_ttl, RData::Soa(self.soa.clone()))
+    }
+
+    /// Whether any record (of any type) exists at `name`.
+    fn name_exists(&self, name: &DnsName) -> bool {
+        self.records
+            .range((name.clone(), RecordType::A)..)
+            .take_while(|((n, _), _)| n == name)
+            .next()
+            .is_some()
+    }
+
+    /// Finds the deepest delegation cut covering `qname`, if any.
+    fn covering_cut(&self, qname: &DnsName) -> Option<&DnsName> {
+        qname
+            .self_and_ancestors()
+            .find(|anc| anc != &self.origin && self.cuts.contains_key(anc))
+            .and_then(|anc| self.cuts.get_key_value(&anc).map(|(k, _)| k))
+    }
+
+    /// Authoritative lookup per RFC 1034 §4.3.2 (simplified: no wildcards).
+    pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> ZoneAnswer {
+        let mut out = ZoneAnswer::empty();
+        if !qname.is_under(&self.origin) {
+            out.rcode = Rcode::Refused;
+            out.authoritative = false;
+            return out;
+        }
+        // Referral if the name sits under a delegation cut.
+        if let Some(cut) = self.covering_cut(qname) {
+            out.authoritative = false;
+            if let Some(ns_rrs) = self.records.get(&(cut.clone(), RecordType::Ns)) {
+                out.authorities.extend(ns_rrs.iter().cloned());
+                for ns_rr in ns_rrs {
+                    if let RData::Ns(host) = &ns_rr.rdata {
+                        if let Some(glue) = self.records.get(&(host.clone(), RecordType::A)) {
+                            out.additionals.extend(glue.iter().cloned());
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        // Exact type match.
+        if let Some(rrs) = self.records.get(&(qname.clone(), qtype)) {
+            out.answers.extend(rrs.iter().cloned());
+            return out;
+        }
+        // CNAME at the name (unless CNAME itself was asked).
+        if qtype != RecordType::Cname {
+            if let Some(cnames) = self.records.get(&(qname.clone(), RecordType::Cname)) {
+                out.answers.extend(cnames.iter().cloned());
+                // Chase within the zone as a courtesy (RFC 1034 §3.6.2).
+                if let Some(RData::Cname(target)) = cnames.first().map(|r| &r.rdata) {
+                    if target.is_under(&self.origin) {
+                        let chased = self.lookup(target, qtype);
+                        if chased.rcode == Rcode::NoError {
+                            out.answers.extend(chased.answers);
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+        // NODATA vs NXDOMAIN.
+        if self.name_exists(qname) {
+            out.authorities.push(self.soa_record());
+        } else {
+            out.rcode = Rcode::NxDomain;
+            out.authorities.push(self.soa_record());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn example_zone() -> Zone {
+        let mut z = Zone::new(n("example.com"));
+        z.add_a(n("www.example.com"), 300, ip(192, 0, 2, 1));
+        z.add_a(n("www.example.com"), 300, ip(192, 0, 2, 2));
+        z.add_cname(n("m.example.com"), 60, n("www.example.com"));
+        z.add_cname(n("ext.example.com"), 60, n("cdn.provider.net"));
+        z.delegate(
+            n("sub.example.com"),
+            vec![(n("ns1.sub.example.com"), ip(198, 51, 100, 53))],
+        );
+        z
+    }
+
+    #[test]
+    fn exact_match_returns_all_records() {
+        let z = example_zone();
+        let out = z.lookup(&n("www.example.com"), RecordType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert_eq!(out.answers.len(), 2);
+        assert!(out.authoritative);
+    }
+
+    #[test]
+    fn cname_is_chased_within_zone() {
+        let z = example_zone();
+        let out = z.lookup(&n("m.example.com"), RecordType::A);
+        assert_eq!(out.answers.len(), 3); // CNAME + 2 A
+        assert!(matches!(out.answers[0].rdata, RData::Cname(_)));
+    }
+
+    #[test]
+    fn external_cname_is_not_chased() {
+        let z = example_zone();
+        let out = z.lookup(&n("ext.example.com"), RecordType::A);
+        assert_eq!(out.answers.len(), 1);
+        assert_eq!(
+            out.answers[0].rdata.as_cname().unwrap(),
+            &n("cdn.provider.net")
+        );
+    }
+
+    #[test]
+    fn nxdomain_carries_soa() {
+        let z = example_zone();
+        let out = z.lookup(&n("nope.example.com"), RecordType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(matches!(out.authorities[0].rdata, RData::Soa(_)));
+    }
+
+    #[test]
+    fn nodata_is_noerror_with_soa() {
+        let z = example_zone();
+        let out = z.lookup(&n("www.example.com"), RecordType::Txt);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.answers.is_empty());
+        assert!(matches!(out.authorities[0].rdata, RData::Soa(_)));
+    }
+
+    #[test]
+    fn delegation_returns_referral_with_glue() {
+        let z = example_zone();
+        let out = z.lookup(&n("deep.sub.example.com"), RecordType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(!out.authoritative);
+        assert!(out.answers.is_empty());
+        assert!(matches!(out.authorities[0].rdata, RData::Ns(_)));
+        assert_eq!(out.additionals[0].rdata.as_a(), Some(ip(198, 51, 100, 53)));
+    }
+
+    #[test]
+    fn out_of_zone_is_refused() {
+        let z = example_zone();
+        let out = z.lookup(&n("www.elsewhere.org"), RecordType::A);
+        assert_eq!(out.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn qtype_cname_returns_cname_without_chase() {
+        let z = example_zone();
+        let out = z.lookup(&n("m.example.com"), RecordType::Cname);
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn root_zone_delegations() {
+        let mut root = Zone::new(DnsName::root());
+        root.delegate(n("com"), vec![(n("a.gtld-servers.net"), ip(192, 5, 6, 30))]);
+        let out = root.lookup(&n("www.example.com"), RecordType::A);
+        assert!(!out.authoritative);
+        assert!(matches!(out.authorities[0].rdata, RData::Ns(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside zone")]
+    fn rejects_out_of_zone_records() {
+        let mut z = Zone::new(n("example.com"));
+        z.add_a(n("www.other.org"), 60, ip(1, 2, 3, 4));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for wire-format encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS messages.
+///
+/// Decoding operates on untrusted bytes, so every structural violation maps
+/// to a distinct variant rather than a panic; encoding can only fail on
+/// internal limits (oversized names, too many records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete field could be read.
+    Truncated {
+        /// What was being parsed when the input ran out.
+        context: &'static str,
+    },
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A full name exceeded 255 octets on the wire.
+    NameTooLong(usize),
+    /// A label contained a byte outside the supported hostname alphabet.
+    InvalidLabelByte(u8),
+    /// An empty label appeared in a position other than the root.
+    EmptyLabel,
+    /// A compression pointer pointed at or past its own position
+    /// (forward pointers are forbidden by RFC 1035 §4.1.4).
+    BadCompressionPointer {
+        /// Offset the pointer referenced.
+        target: usize,
+        /// Offset the pointer itself was read from.
+        at: usize,
+    },
+    /// Followed more compression pointers than any legal message can contain.
+    CompressionLoop,
+    /// A label length byte used the reserved `0b10`/`0b01` prefixes.
+    ReservedLabelType(u8),
+    /// The RDLENGTH field disagreed with the actual RDATA encoding.
+    RdataLengthMismatch {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// A record type that requires structured RDATA carried too few bytes.
+    BadRdata(&'static str),
+    /// Message exceeded the 64 KiB UDP/TCP framing limit while encoding.
+    MessageTooLong(usize),
+    /// Trailing garbage followed a structurally complete message.
+    TrailingBytes(usize),
+    /// Unknown opcode/rcode/class outside what this implementation models.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "message truncated while reading {context}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::InvalidLabelByte(b) => write!(f, "invalid byte {b:#04x} in label"),
+            WireError::EmptyLabel => write!(f, "empty label inside a name"),
+            WireError::BadCompressionPointer { target, at } => {
+                write!(f, "compression pointer at {at} references {target}")
+            }
+            WireError::CompressionLoop => write!(f, "compression pointer loop"),
+            WireError::ReservedLabelType(b) => {
+                write!(f, "reserved label type bits in {b:#04x}")
+            }
+            WireError::RdataLengthMismatch { declared, consumed } => {
+                write!(f, "rdata length {declared} but consumed {consumed}")
+            }
+            WireError::BadRdata(what) => write!(f, "malformed rdata: {what}"),
+            WireError::MessageTooLong(n) => write!(f, "message of {n} bytes exceeds 65535"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { context: "header" };
+        assert!(e.to_string().contains("header"));
+        let e = WireError::BadCompressionPointer { target: 9, at: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::CompressionLoop, WireError::CompressionLoop);
+        assert_ne!(WireError::EmptyLabel, WireError::CompressionLoop);
+    }
+}

@@ -1,0 +1,299 @@
+//! Domain names: validation, normalization, hierarchy operations.
+
+use crate::error::WireError;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name on the wire, including length octets and the
+/// terminating root octet (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A validated, absolute domain name.
+///
+/// Internally stored as a vector of lowercase label byte-strings; the root
+/// name has zero labels. DNS name comparison is case-insensitive
+/// (RFC 1035 §2.3.3), so labels are normalized to ASCII lowercase at
+/// construction and `Eq`/`Hash`/`Ord` all operate on the normalized form.
+#[derive(Clone, Eq, PartialEq, Ord, PartialOrd)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Parses a name from presentation format (`"www.example.com"`,
+    /// optionally with a trailing dot). An empty string or `"."` is the root.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        if s.is_empty() || s == "." {
+            return Ok(Self::root());
+        }
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        let mut labels = Vec::new();
+        for part in trimmed.split('.') {
+            labels.push(Self::validate_label(part.as_bytes())?);
+        }
+        let name = DnsName { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Builds a name from label byte-strings (root-last order).
+    pub fn from_labels<I, L>(iter: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut labels = Vec::new();
+        for l in iter {
+            labels.push(Self::validate_label(l.as_ref())?);
+        }
+        let name = DnsName { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    fn validate_label(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
+        if bytes.is_empty() {
+            return Err(WireError::EmptyLabel);
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(bytes.len()));
+        }
+        let mut out = Vec::with_capacity(bytes.len());
+        for &b in bytes {
+            // Accept the LDH alphabet plus underscore (used by service
+            // labels and our whoami probes).
+            let ok = b.is_ascii_alphanumeric() || b == b'-' || b == b'_';
+            if !ok {
+                return Err(WireError::InvalidLabelByte(b));
+            }
+            out.push(b.to_ascii_lowercase());
+        }
+        Ok(out)
+    }
+
+    fn check_total_len(&self) -> Result<(), WireError> {
+        let n = self.wire_len();
+        if n > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(n));
+        }
+        Ok(())
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Length of this name in uncompressed wire format, including each
+    /// label's length octet and the terminating zero octet.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The parent domain (drops the leftmost label); `None` for the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// `true` if `self` equals `other` or is a descendant of it
+    /// (`www.example.com` is under `example.com` and under the root).
+    pub fn is_under(&self, other: &DnsName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Prepends a label, producing a child name (`child("www")` of
+    /// `example.com` is `www.example.com`).
+    pub fn child(&self, label: &str) -> Result<DnsName, WireError> {
+        let validated = Self::validate_label(label.as_bytes())?;
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(validated);
+        labels.extend(self.labels.iter().cloned());
+        let name = DnsName { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Iterator over this name and all its ancestors up to the root, most
+    /// specific first: `www.example.com`, `example.com`, `com`, `.`.
+    pub fn self_and_ancestors(&self) -> impl Iterator<Item = DnsName> + '_ {
+        (0..=self.labels.len()).map(move |skip| DnsName {
+            labels: self.labels[skip..].to_vec(),
+        })
+    }
+}
+
+impl Hash for DnsName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Labels are already normalized to lowercase.
+        self.labels.hash(state);
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            for &b in label {
+                write!(f, "{}", b as char)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DnsName({self})")
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let n = DnsName::parse("WWW.Example.COM").unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        let a = DnsName::parse("example.com.").unwrap();
+        let b = DnsName::parse("example.com").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(DnsName::parse("").unwrap().is_root());
+        assert!(DnsName::parse(".").unwrap().is_root());
+        assert_eq!(DnsName::root().to_string(), ".");
+        assert_eq!(DnsName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        let a = DnsName::parse("CDN.Example.net").unwrap();
+        let b = DnsName::parse("cdn.example.NET").unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(
+            DnsName::parse("a..b").unwrap_err(),
+            WireError::EmptyLabel
+        );
+        assert!(matches!(
+            DnsName::parse("bad!char.com").unwrap_err(),
+            WireError::InvalidLabelByte(b'!')
+        ));
+        let long = "x".repeat(64);
+        assert!(matches!(
+            DnsName::parse(&format!("{long}.com")).unwrap_err(),
+            WireError::LabelTooLong(64)
+        ));
+    }
+
+    #[test]
+    fn rejects_names_over_255_octets() {
+        // Each label "xxxxxxxxx" costs 10 wire octets; 26 of them exceed 255.
+        let label = "x".repeat(9);
+        let parts: Vec<&str> = std::iter::repeat_n(label.as_str(), 26).collect();
+        let joined = parts.join(".");
+        assert!(matches!(
+            DnsName::parse(&joined).unwrap_err(),
+            WireError::NameTooLong(_)
+        ));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n = DnsName::parse("www.example.com").unwrap();
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "example.com");
+        assert_eq!(p.child("www").unwrap(), n);
+        assert!(DnsName::root().parent().is_none());
+    }
+
+    #[test]
+    fn is_under_relations() {
+        let www = DnsName::parse("www.example.com").unwrap();
+        let example = DnsName::parse("example.com").unwrap();
+        let com = DnsName::parse("com").unwrap();
+        let org = DnsName::parse("org").unwrap();
+        assert!(www.is_under(&example));
+        assert!(www.is_under(&com));
+        assert!(www.is_under(&DnsName::root()));
+        assert!(www.is_under(&www));
+        assert!(!example.is_under(&www));
+        assert!(!www.is_under(&org));
+    }
+
+    #[test]
+    fn ancestors_iteration() {
+        let n = DnsName::parse("a.b.c").unwrap();
+        let all: Vec<String> = n.self_and_ancestors().map(|x| x.to_string()).collect();
+        assert_eq!(all, vec!["a.b.c", "b.c", "c", "."]);
+    }
+
+    #[test]
+    fn underscore_labels_allowed() {
+        let n = DnsName::parse("_dns.resolver.arpa").unwrap();
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn wire_len_matches_definition() {
+        let n = DnsName::parse("ab.cde").unwrap();
+        // 1+2 + 1+3 + 1(root) = 8
+        assert_eq!(n.wire_len(), 8);
+    }
+}

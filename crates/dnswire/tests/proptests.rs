@@ -1,0 +1,207 @@
+//! Property-based tests for the wire codec: arbitrary messages roundtrip,
+//! arbitrary bytes never panic the decoder.
+
+use dnswire::message::{Flags, Header, Message, Opcode, Question, Rcode, ResourceRecord};
+use dnswire::name::DnsName;
+use dnswire::rdata::{RData, RecordClass, RecordType, SoaData};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_][a-z0-9_-]{0,14}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 0..5)
+        .prop_map(|labels| DnsName::from_labels(labels.iter().map(|l| l.as_bytes())).unwrap())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(Ipv4Addr::from(o))),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(Ipv6Addr::from(o))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(p, n)| RData::Mx(p, n)),
+        proptest::collection::vec("[ -~]{0,40}", 1..3).prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, refresh)| {
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry: 900,
+                    expire: 86400,
+                    minimum: 60,
+                })
+            }
+        ),
+        (0u16..=65535, proptest::collection::vec(any::<u8>(), 0..32)).prop_map(|(code, bytes)| {
+            // Avoid colliding with codes the codec interprets structurally.
+            let code = match RecordType::from_code(code) {
+                RecordType::Unknown(c) => c,
+                _ => 60000,
+            };
+            RData::Unknown(code, bytes)
+        }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = ResourceRecord> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| ResourceRecord {
+        name,
+        class: RecordClass::In,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_question() -> impl Strategy<Value = Question> {
+    (arb_name(), any::<u16>()).prop_map(|(qname, tcode)| Question {
+        qname,
+        qtype: RecordType::from_code(tcode),
+        qclass: RecordClass::In,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+        proptest::collection::vec(arb_question(), 0..3),
+        proptest::collection::vec(arb_record(), 0..4),
+        proptest::collection::vec(arb_record(), 0..3),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(
+            |(id, qr, aa, tc, rd, ra, rcode, questions, answers, authorities, additionals)| {
+                Message {
+                    header: Header {
+                        id,
+                        opcode: Opcode::Query,
+                        flags: Flags {
+                            response: qr,
+                            authoritative: aa,
+                            truncated: tc,
+                            recursion_desired: rd,
+                            recursion_available: ra,
+                        },
+                        rcode: Rcode::from_code(rcode),
+                    },
+                    questions,
+                    answers,
+                    authorities,
+                    additionals,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip_arbitrary_messages(msg in arb_message()) {
+        let bytes = msg.encode().unwrap();
+        let decoded = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Result is irrelevant; absence of panic is the property.
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_messages(
+        msg in arb_message(),
+        idx in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = msg.encode().unwrap();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] = byte;
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn reencoding_a_decoded_message_is_stable(msg in arb_message()) {
+        let bytes = msg.encode().unwrap();
+        let decoded = Message::decode(&bytes).unwrap();
+        let bytes2 = decoded.encode().unwrap();
+        prop_assert_eq!(bytes, bytes2);
+    }
+
+    #[test]
+    fn name_parse_display_roundtrip(labels in proptest::collection::vec(arb_label(), 1..5)) {
+        let s = labels.join(".");
+        let name = DnsName::parse(&s).unwrap();
+        prop_assert_eq!(name.to_string(), s.to_lowercase());
+        let reparsed = DnsName::parse(&name.to_string()).unwrap();
+        prop_assert_eq!(reparsed, name);
+    }
+
+    #[test]
+    fn ecs_options_roundtrip(
+        octets in any::<[u8; 4]>(),
+        source in 0u8..=32,
+        scope in 0u8..=32,
+    ) {
+        use dnswire::edns::{decode_options, encode_options, EdnsOption};
+        let addr = std::net::Ipv4Addr::from(octets);
+        let masked = {
+            let mask: u32 = if source == 0 { 0 } else { u32::MAX << (32 - source) };
+            std::net::Ipv4Addr::from(u32::from(addr) & mask)
+        };
+        let opt = EdnsOption::ClientSubnet {
+            source_prefix_len: source,
+            scope_prefix_len: scope,
+            addr: masked,
+        };
+        let decoded = decode_options(&encode_options(std::slice::from_ref(&opt))).unwrap();
+        prop_assert_eq!(decoded, vec![opt]);
+    }
+
+    #[test]
+    fn ecs_message_attachment_survives_the_wire(
+        octets in any::<[u8; 4]>(),
+        source in 1u8..=32,
+    ) {
+        use dnswire::builder::QueryBuilder;
+        let mut msg = QueryBuilder::new(3, "m.yelp.com", RecordType::A)
+            .build()
+            .unwrap();
+        msg.set_client_subnet(std::net::Ipv4Addr::from(octets), source);
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        let (got_addr, got_source, got_scope) = decoded.client_subnet().unwrap();
+        prop_assert_eq!(got_source, source);
+        prop_assert_eq!(got_scope, 0);
+        // The address must be masked to the announced prefix.
+        let mask: u32 = if source == 0 { 0 } else { u32::MAX << (32 - source) };
+        prop_assert_eq!(u32::from(got_addr), u32::from(std::net::Ipv4Addr::from(octets)) & mask);
+    }
+
+    #[test]
+    fn ecs_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = dnswire::edns::decode_options(&bytes);
+    }
+
+    #[test]
+    fn is_under_is_reflexive_and_monotone(name in arb_name()) {
+        prop_assert!(name.is_under(&name));
+        prop_assert!(name.is_under(&DnsName::root()));
+        if let Some(parent) = name.parent() {
+            prop_assert!(name.is_under(&parent));
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! One experiment, exactly as §3.2 describes it: bootstrap ping (radio
+//! promotion), DNS resolutions of the nine domains against the local and
+//! both public resolvers (twice, back-to-back), whoami resolutions to
+//! discover external-facing resolvers, pings/traceroutes to resolvers, and
+//! ping/traceroute/HTTP-GET probes to every replica returned.
+
+use crate::record::{
+    DnsTiming, ExperimentRecord, ProbeTarget, ReplicaProbe, ResolverIdentity, ResolverKind,
+    ResolverProbe,
+};
+use crate::spec::ExperimentSpec;
+use crate::world::{World, GOOGLE_VIP, OPENDNS_VIP};
+use dnssim::client::{resolve, whoami};
+use dnswire::rdata::RecordType;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Runs one experiment for the device at `device_idx`. `seq` is the
+/// device's experiment counter (drives probe subsampling rotation).
+pub fn run_experiment(world: &mut World, device_idx: usize, seq: u32, spec: &ExperimentSpec) -> ExperimentRecord {
+    let World {
+        net,
+        carriers,
+        devices,
+        rng,
+        catalog,
+        probe_zone,
+        ..
+    } = world;
+    let device = &mut devices[device_idx];
+    let carrier = &mut carriers[device.carrier];
+    let now = net.now();
+
+    // Bearer churn that came due between experiments.
+    if device.next_ip_change <= now {
+        device.reassign_ip(net, carrier, rng, now, 0.3);
+    }
+    device.maybe_resample_radio(&carrier.profile, net.topo_mut(), rng);
+
+    // Radio promotion, then the bootstrap ping that §3.2 uses to mask it.
+    let promotion = device.wake_radio(now);
+    let start = now + promotion;
+    net.skip_to(start);
+    let _ = net.ping_train(device.node, device.configured_dns, 1);
+
+    let resolvers: [(ResolverKind, Ipv4Addr); 3] = [
+        (ResolverKind::Local, device.configured_dns),
+        (ResolverKind::Google, GOOGLE_VIP),
+        (ResolverKind::OpenDns, OPENDNS_VIP),
+    ];
+
+    // DNS resolutions: every domain against every resolver, twice.
+    let mut lookups = Vec::with_capacity(catalog.len() * resolvers.len() * 2);
+    // replica addr -> every (domain, via) that returned it this experiment.
+    let mut replica_seen: HashMap<Ipv4Addr, Vec<(u8, ResolverKind)>> = HashMap::new();
+    let mut replica_order: Vec<Ipv4Addr> = Vec::new();
+    let attempts = if spec.double_lookup { 2 } else { 1 };
+    for (d_idx, entry) in catalog.iter().enumerate() {
+        for &(kind, raddr) in &resolvers {
+            for attempt in 1..=attempts {
+                let lookup = resolve(net, device.node, raddr, &entry.domain, RecordType::A);
+                let addrs = if attempt == 1 {
+                    lookup.addrs()
+                } else {
+                    Vec::new()
+                };
+                if attempt == 1 {
+                    for &a in &lookup.addrs() {
+                        let combos = replica_seen.entry(a).or_insert_with(|| {
+                            replica_order.push(a);
+                            Vec::new()
+                        });
+                        let combo = (d_idx as u8, kind);
+                        if !combos.contains(&combo) {
+                            combos.push(combo);
+                        }
+                    }
+                }
+                lookups.push(DnsTiming {
+                    resolver: kind,
+                    resolver_addr: raddr,
+                    domain_idx: d_idx as u8,
+                    attempt,
+                    elapsed_us: lookup.elapsed.map(|e| e.as_micros() as u32),
+                    addrs,
+                });
+            }
+        }
+    }
+
+    // whoami per resolver (§3.2's "resolution of clients' resolver IPs").
+    let mut identities = Vec::with_capacity(3);
+    for &(kind, raddr) in &resolvers {
+        let (_, external) = whoami(net, device.node, raddr, probe_zone);
+        identities.push(ResolverIdentity {
+            resolver: kind,
+            queried_addr: raddr,
+            external_addr: external,
+        });
+    }
+    let local_external = identities
+        .iter()
+        .find(|i| i.resolver == ResolverKind::Local)
+        .and_then(|i| i.external_addr);
+
+    // Resolver latency probes (Figs. 4 and 11).
+    let mut resolver_probes = Vec::new();
+    let mut probe_resolver = |net: &mut netsim::Network, target: ProbeTarget, addr: Ipv4Addr| {
+        let report = net.ping_train(device.node, addr, spec.ping_count);
+        resolver_probes.push(ResolverProbe {
+            target,
+            addr,
+            rtt_us: report.min_rtt().map(|r| r.as_micros() as u32),
+        });
+    };
+    probe_resolver(net, ProbeTarget::ClientFacing, device.configured_dns);
+    if let Some(ext) = local_external {
+        if ext != device.configured_dns {
+            probe_resolver(net, ProbeTarget::External, ext);
+        }
+    }
+    probe_resolver(net, ProbeTarget::GoogleVip, GOOGLE_VIP);
+    probe_resolver(net, ProbeTarget::OpenDnsVip, OPENDNS_VIP);
+    if seq.is_multiple_of(spec.resolver_trace_every) {
+        // Traceroutes to the resolver tier; structural data only (the paper
+        // found tunnelling renders hop counts moot, which our transparent
+        // core reproduces).
+        let _ = net.traceroute(device.node, device.configured_dns, spec.trace_max_ttl);
+        if let Some(ext) = local_external {
+            let _ = net.traceroute(device.node, ext, spec.trace_max_ttl);
+        }
+    }
+
+    // Replica probes: ping + HTTP GET to every distinct replica, traceroute
+    // to a rotating subsample.
+    let mut measured: HashMap<Ipv4Addr, (Option<u32>, Option<u32>)> = HashMap::new();
+    let mut replica_probes = Vec::new();
+    for (i, &addr) in replica_order.iter().enumerate() {
+        let (rtt_us, ttfb_us) = {
+            let entry = measured.entry(addr).or_insert_with(|| {
+                let ping = net.ping_train(device.node, addr, spec.ping_count);
+                let rtt = ping.min_rtt().map(|r| r.as_micros() as u32);
+                let ttfb = if spec.http_probes {
+                    net.tcp_get(
+                        device.node,
+                        addr,
+                        "/index.html",
+                        netsim::time::SimDuration::from_secs(20),
+                    )
+                    .ttfb
+                    .map(|t| t.as_micros() as u32)
+                } else {
+                    None
+                };
+                (rtt, ttfb)
+            });
+            *entry
+        };
+        // Rotate which replicas get traced so the corpus covers all of them
+        // over time without tracing everything every hour.
+        let trace_hops = if (i + seq as usize) % replica_order.len().max(1)
+            < spec.replica_trace_sample
+        {
+            net.traceroute(device.node, addr, spec.trace_max_ttl)
+                .responding_hops()
+        } else {
+            Vec::new()
+        };
+        for (k, &(d_idx, via)) in replica_seen[&addr].iter().enumerate() {
+            replica_probes.push(ReplicaProbe {
+                domain_idx: d_idx,
+                via,
+                addr,
+                rtt_us,
+                ttfb_us,
+                // Attach the trace to the first combo only, so egress
+                // analysis does not double-count one traceroute.
+                trace_hops: if k == 0 { trace_hops.clone() } else { Vec::new() },
+            });
+        }
+    }
+
+    let coord = device.coord();
+    ExperimentRecord {
+        device_id: device.id as u32,
+        carrier: device.carrier as u8,
+        t: start,
+        radio: device.tech,
+        x_km: coord.x_km as f32,
+        y_km: coord.y_km as f32,
+        is_static: device.is_static(),
+        device_ip: device.ip,
+        gateway_site: device.site as u16,
+        configured_dns: device.configured_dns,
+        lookups,
+        identities,
+        resolver_probes,
+        replica_probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{build_world, WorldConfig};
+
+    #[test]
+    fn experiment_produces_complete_record() {
+        let mut world = build_world(WorldConfig::quick(42));
+        let spec = ExperimentSpec::light();
+        let record = run_experiment(&mut world, 0, 0, &spec);
+        // 9 domains x 3 resolvers x 2 attempts.
+        assert_eq!(record.lookups.len(), 9 * 3 * 2);
+        assert_eq!(record.identities.len(), 3);
+        // Local resolutions must have succeeded and returned replicas.
+        let local_ok = record
+            .lookups
+            .iter()
+            .filter(|l| l.resolver == ResolverKind::Local && l.attempt == 1)
+            .filter(|l| l.elapsed_us.is_some() && !l.addrs.is_empty())
+            .count();
+        assert!(local_ok >= 7, "only {local_ok}/9 local lookups succeeded");
+        assert!(!record.replica_probes.is_empty());
+        // whoami through the local path reveals an external resolver that
+        // differs from the configured one (indirect resolution).
+        let ext = record.local_external().expect("external discovered");
+        assert_ne!(ext, record.configured_dns);
+    }
+
+    #[test]
+    fn public_lookups_also_succeed() {
+        let mut world = build_world(WorldConfig::quick(43));
+        let spec = ExperimentSpec::light();
+        let record = run_experiment(&mut world, 1, 0, &spec);
+        for kind in [ResolverKind::Google, ResolverKind::OpenDns] {
+            let ok = record
+                .lookups
+                .iter()
+                .filter(|l| l.resolver == kind && l.attempt == 1 && l.elapsed_us.is_some())
+                .count();
+            assert!(ok >= 7, "{kind:?}: only {ok}/9 lookups succeeded");
+        }
+    }
+
+    #[test]
+    fn second_lookup_is_not_slower_than_first_on_average() {
+        let mut world = build_world(WorldConfig::quick(44));
+        let spec = ExperimentSpec::light();
+        let record = run_experiment(&mut world, 0, 0, &spec);
+        let mean = |attempt: u8| {
+            let xs: Vec<u32> = record
+                .lookups
+                .iter()
+                .filter(|l| l.resolver == ResolverKind::Local && l.attempt == attempt)
+                .filter_map(|l| l.elapsed_us)
+                .collect();
+            xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len().max(1) as f64
+        };
+        assert!(mean(2) <= mean(1) * 1.05, "2nd {} vs 1st {}", mean(2), mean(1));
+    }
+
+    #[test]
+    fn replica_probes_have_latency() {
+        let mut world = build_world(WorldConfig::quick(45));
+        let spec = ExperimentSpec::light();
+        let record = run_experiment(&mut world, 0, 0, &spec);
+        let with_rtt = record
+            .replica_probes
+            .iter()
+            .filter(|p| p.rtt_us.is_some())
+            .count();
+        assert!(
+            with_rtt * 2 >= record.replica_probes.len(),
+            "{with_rtt}/{}",
+            record.replica_probes.len()
+        );
+        let with_ttfb = record
+            .replica_probes
+            .iter()
+            .filter(|p| p.ttfb_us.is_some())
+            .count();
+        assert!(with_ttfb > 0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! `measure` — the paper's measurement library and campaign harness: the
+//! experiment of §3.2 (bootstrap ping, 9-domain resolutions against local
+//! and public resolvers, whoami resolver discovery, ping/traceroute/HTTP
+//! probes of every replica), the fleet campaign driver, the university
+//! reachability probes, and the simulated world everything runs against.
+
+pub mod campaign;
+pub mod experiment;
+pub mod record;
+pub mod spec;
+pub mod world;
+
+pub use campaign::{probe_external_reachability, run_campaign, CampaignConfig};
+pub use experiment::run_experiment;
+pub use record::{
+    Dataset, DnsTiming, ExperimentRecord, ExternalReachProbe, ProbeTarget, ReplicaProbe,
+    ResolverIdentity, ResolverKind, ResolverProbe,
+};
+pub use spec::ExperimentSpec;
+pub use world::{
+    build_world, CdnNet, PublicDns, PublicSite, World, WorldConfig, GOOGLE_VIP, OPENDNS_VIP,
+};

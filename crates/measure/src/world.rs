@@ -1,0 +1,623 @@
+//! World assembly: the simulated internet the measurement campaign runs
+//! against — backbone, DNS hierarchy, probe ADNS, public DNS deployments,
+//! CDNs, the six carriers, and the device fleet.
+
+use cdnsim::catalog::{mobile_domains, CatalogEntry, PROVIDER_COUNT, PROVIDER_NAMES};
+use cdnsim::cdn::{Cdn, CdnConfig, Replica};
+use cdnsim::edge::EdgeZone;
+use cdnsim::mapping::MappingZone;
+use cellsim::build::{build_carrier, install_carrier_services, CarrierNet, GeoRegion};
+use cellsim::device::{create_devices, Device};
+use cellsim::profile::{six_carriers, CarrierProfile, Country};
+use dnssim::authority::{AuthoritativeServer, WhoamiZone, DNS_PORT};
+use dnssim::hierarchy::HierarchyBuilder;
+use dnssim::recursive::{RecursiveResolver, ResolverConfig};
+use dnssim::zone::Zone;
+use dnswire::name::DnsName;
+use netsim::addr::Prefix;
+use netsim::tcplite::TcpHttpServer;
+use netsim::engine::Network;
+use netsim::time::SimDuration;
+use netsim::topo::{Asn, Coord, NodeId, NodeKind, Topology};
+use netsim::HTTP_PORT;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// World-level tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Master seed; every run with the same config is bit-identical.
+    pub seed: u64,
+    /// Fleet scaling (1.0 = Table 1's 158 clients).
+    pub fleet_scale: f64,
+    /// Gateway scaling (1.0 = §5.2's LTE-era counts; ~0.1 approximates the
+    /// 4–6 egress points of the Xu et al. 3G era for ablations).
+    pub gateway_scale: f64,
+    /// Ambient cache-warmth period divided by record TTL controls the
+    /// first-lookup hit rate (None disables the model; see `dnssim::cache`).
+    pub ambient_period: Option<SimDuration>,
+    /// Google-like public DNS site count (paper: ~30 /24 clusters).
+    pub google_sites: usize,
+    /// OpenDNS-like site count.
+    pub opendns_sites: usize,
+    /// Deploy the paper's §9 future-work fix: carrier resolvers announce
+    /// RFC 7871 client subnets (NAT-aware), and CDNs geolocate the carrier
+    /// egress /24s from their server logs. Off by default — the paper's
+    /// world.
+    pub ecs: bool,
+    /// Build the pre-LTE world of Xu et al. (SIGMETRICS'11): 4–6 gateways
+    /// per carrier and no LTE radio — the baseline §2 argues has been
+    /// overtaken.
+    pub three_g_era: bool,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 2014,
+            fleet_scale: 1.0,
+            gateway_scale: 1.0,
+            // CDN TTL 30 s / period 37.5 s ≈ 80% warm — Fig. 7's ~20% miss.
+            ambient_period: Some(SimDuration::from_micros(37_500_000)),
+            google_sites: 30,
+            opendns_sites: 16,
+            ecs: false,
+            three_g_era: false,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for tests and quick benches: reduced fleet and
+    /// gateway counts, same structure.
+    pub fn quick(seed: u64) -> Self {
+        WorldConfig {
+            seed,
+            fleet_scale: 0.15,
+            gateway_scale: 0.35,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// One public-DNS deployment (Google-like or OpenDNS-like).
+#[derive(Debug)]
+pub struct PublicDns {
+    /// Display name.
+    pub name: &'static str,
+    /// The anycast VIP devices are pointed at.
+    pub vip: Ipv4Addr,
+    /// Site nodes with their egress addresses (each site is one /24).
+    pub sites: Vec<PublicSite>,
+}
+
+/// One public-DNS site.
+#[derive(Debug)]
+pub struct PublicSite {
+    /// The site's node.
+    pub node: NodeId,
+    /// Its /24.
+    pub prefix: Prefix,
+    /// Egress addresses upstream queries rotate over.
+    pub egress_addrs: Vec<Ipv4Addr>,
+    /// Location.
+    pub coord: Coord,
+}
+
+/// One CDN provider deployment.
+#[derive(Debug)]
+pub struct CdnNet {
+    /// Provider index into `PROVIDER_NAMES`.
+    pub provider: usize,
+    /// The selection logic (shared with the mapping zones).
+    pub cdn: Arc<Cdn>,
+    /// Replica nodes with their addresses.
+    pub replicas: Vec<(NodeId, Ipv4Addr)>,
+    /// The provider's ADNS node and address.
+    pub adns: (NodeId, Ipv4Addr),
+}
+
+/// The assembled world.
+pub struct World {
+    /// The simulated network (engine + topology).
+    pub net: Network,
+    /// Configuration the world was built from.
+    pub config: WorldConfig,
+    /// The six carriers.
+    pub carriers: Vec<CarrierNet>,
+    /// The full device fleet (all carriers; `Device::carrier` indexes into
+    /// `carriers`).
+    pub devices: Vec<Device>,
+    /// Public DNS services: `[0]` Google-like, `[1]` OpenDNS-like.
+    pub public_dns: Vec<PublicDns>,
+    /// CDN providers.
+    pub cdns: Vec<CdnNet>,
+    /// Domain catalog (Table 2).
+    pub catalog: Vec<CatalogEntry>,
+    /// The whoami probe zone (queried with nonce labels).
+    pub probe_zone: DnsName,
+    /// The university vantage point (Table 4 probes).
+    pub university: NodeId,
+    /// Root server hint.
+    pub roots: Vec<Ipv4Addr>,
+    /// Campaign-level RNG (distinct stream from the engine's).
+    pub rng: StdRng,
+}
+
+/// Well-known public DNS VIPs.
+pub const GOOGLE_VIP: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+/// OpenDNS VIP.
+pub const OPENDNS_VIP: Ipv4Addr = Ipv4Addr::new(208, 67, 222, 222);
+
+/// Backbone POP locations: a US mesh plus a Korean cluster.
+fn backbone_coords() -> Vec<Coord> {
+    let mut v = Vec::new();
+    // 12 US metros on the carrier map (0..4200 x 0..2500).
+    let us = [
+        (250.0, 600.0),   // Seattle-ish
+        (300.0, 1500.0),  // Bay Area
+        (500.0, 1900.0),  // LA
+        (1300.0, 1800.0), // Phoenix/Dallas corridor west
+        (1900.0, 1900.0), // Dallas
+        (1700.0, 1000.0), // Denver
+        (2500.0, 800.0),  // Chicago
+        (2700.0, 1700.0), // Atlanta
+        (3300.0, 2100.0), // Miami
+        (3500.0, 900.0),  // DC
+        (3700.0, 700.0),  // NYC
+        (3400.0, 500.0),  // Boston
+    ];
+    for (x, y) in us {
+        v.push(Coord { x_km: x, y_km: y });
+    }
+    // 3 Korean POPs.
+    let kr = [(9600.0, 600.0), (9700.0, 800.0), (9750.0, 700.0)];
+    for (x, y) in kr {
+        v.push(Coord { x_km: x, y_km: y });
+    }
+    v
+}
+
+/// Number of US POPs in [`backbone_coords`].
+const US_POPS: usize = 12;
+
+/// Builds the complete world.
+pub fn build_world(config: WorldConfig) -> World {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut topo = Topology::new();
+
+    // --- Backbone ---
+    let coords = backbone_coords();
+    let mut pops: Vec<(NodeId, Coord)> = Vec::new();
+    for (i, &coord) in coords.iter().enumerate() {
+        let node = topo.add_node(
+            format!("pop-{i}"),
+            NodeKind::Router,
+            Asn(3356),
+            coord,
+            vec![Ipv4Addr::new(80, 0, i as u8, 1)],
+        );
+        pops.push((node, coord));
+    }
+    // US ring + chords.
+    for i in 0..US_POPS {
+        let (a, _) = pops[i];
+        let (b, _) = pops[(i + 1) % US_POPS];
+        topo.add_wired_link(a, b);
+    }
+    for &(i, j) in &[(0usize, 6usize), (1, 4), (4, 9), (6, 10), (2, 4)] {
+        topo.add_wired_link(pops[i].0, pops[j].0);
+    }
+    // Korean triangle + two trans-Pacific links.
+    for &(i, j) in &[(12usize, 13usize), (13, 14), (12, 14)] {
+        topo.add_wired_link(pops[i].0, pops[j].0);
+    }
+    topo.add_wired_link(pops[0].0, pops[12].0);
+    topo.add_wired_link(pops[1].0, pops[13].0);
+
+    let us_pops: Vec<(NodeId, Coord)> = pops[..US_POPS].to_vec();
+    let kr_pops: Vec<(NodeId, Coord)> = pops[US_POPS..].to_vec();
+
+    // --- DNS hierarchy servers ---
+    let root_addr = Ipv4Addr::new(198, 41, 0, 4);
+    let root_node = topo.add_node(
+        "root-dns",
+        NodeKind::Host,
+        Asn(397),
+        pops[9].1,
+        vec![root_addr],
+    );
+    topo.add_link(root_node, pops[9].0, netsim::LatencyModel::constant_ms(1));
+
+    let tld_specs = [
+        ("com", Ipv4Addr::new(192, 5, 6, 30), 6),
+        ("org", Ipv4Addr::new(192, 5, 6, 31), 10),
+        ("example", Ipv4Addr::new(192, 5, 6, 32), 9),
+    ];
+    let mut tld_nodes = Vec::new();
+    for (label, addr, pop) in tld_specs {
+        let node = topo.add_node(
+            format!("tld-{label}"),
+            NodeKind::Host,
+            Asn(397),
+            pops[pop].1,
+            vec![addr],
+        );
+        topo.add_link(node, pops[pop].0, netsim::LatencyModel::constant_ms(1));
+        tld_nodes.push((label, addr, node));
+    }
+
+    // Probe ADNS (whoami) near the university.
+    let probe_addr = Ipv4Addr::new(198, 51, 200, 53);
+    let probe_node = topo.add_node(
+        "probe-adns",
+        NodeKind::Host,
+        Asn(103),
+        pops[6].1,
+        vec![probe_addr],
+    );
+    topo.add_link(probe_node, pops[6].0, netsim::LatencyModel::constant_ms(1));
+
+    // University vantage point (Northwestern-ish, near Chicago POP).
+    let university = topo.add_node(
+        "university",
+        NodeKind::Host,
+        Asn(103),
+        pops[6].1,
+        vec![Ipv4Addr::new(129, 105, 5, 5)],
+    );
+    topo.add_link(university, pops[6].0, netsim::LatencyModel::constant_ms(1));
+
+    // --- Public DNS sites ---
+    /// (name, vip, sites, addrs per site, first two octets, KR site share)
+    type PublicPlan = (&'static str, Ipv4Addr, usize, u8, [u8; 2], usize);
+    let public_plans: Vec<PublicPlan> = vec![
+        ("GoogleDNS", GOOGLE_VIP, config.google_sites, 6, [173, 194], 5),
+        ("OpenDNS", OPENDNS_VIP, config.opendns_sites, 4, [204, 194], 3),
+    ];
+    let mut public_built: Vec<(PublicDns, Vec<NodeId>)> = Vec::new();
+    for (name, vip, site_count, per_site, octets, kr_share) in public_plans {
+        let mut sites = Vec::new();
+        let mut nodes = Vec::new();
+        for s in 0..site_count {
+            let (pop, coord) = if site_count - s <= kr_share {
+                kr_pops[s % kr_pops.len()]
+            } else {
+                us_pops[s % us_pops.len()]
+            };
+            let prefix: Prefix = format!("{}.{}.{}.0/24", octets[0], octets[1], s)
+                .parse()
+                .expect("valid site prefix");
+            let egress_addrs: Vec<Ipv4Addr> = (1..=per_site).map(|k| prefix.addr(k as u32)).collect();
+            let node = topo.add_node(
+                format!("{name}-site-{s}"),
+                NodeKind::Host,
+                Asn(15169),
+                coord,
+                egress_addrs.clone(),
+            );
+            topo.add_link(node, pop, netsim::LatencyModel::constant_ms(1));
+            nodes.push(node);
+            sites.push(PublicSite {
+                node,
+                prefix,
+                egress_addrs,
+                coord,
+            });
+        }
+        public_built.push((PublicDns { name, vip, sites }, nodes));
+    }
+
+    // --- CDN replicas and ADNS ---
+    let catalog = mobile_domains();
+    let provider_pops = [30usize, 20, 25, 8];
+    let provider_kr = [6usize, 4, 5, 0];
+    let mut cdn_plans = Vec::new();
+    for p in 0..PROVIDER_COUNT {
+        let mut replicas = Vec::new();
+        let mut replica_nodes = Vec::new();
+        for s in 0..provider_pops[p] {
+            let (pop, base) = if provider_pops[p] - s <= provider_kr[p] {
+                kr_pops[s % kr_pops.len()]
+            } else {
+                us_pops[(s + p) % us_pops.len()]
+            };
+            // Spread POPs around the metro.
+            let coord = Coord {
+                x_km: base.x_km + rng.gen_range(-60.0..60.0),
+                y_km: base.y_km + rng.gen_range(-60.0..60.0),
+            };
+            let addr = Ipv4Addr::new(90 + p as u8, 0, s as u8, 1);
+            let node = topo.add_node(
+                format!("{}-pop-{s}", PROVIDER_NAMES[p]),
+                NodeKind::Host,
+                Asn(20940 + p as u32),
+                coord,
+                vec![addr],
+            );
+            topo.add_wired_link(node, pop);
+            replica_nodes.push((node, addr));
+            replicas.push(Replica { addr, coord });
+        }
+        let adns_addr = Ipv4Addr::new(90 + p as u8, 53, 0, 1);
+        let adns_pop = us_pops[(4 + p) % us_pops.len()];
+        let adns_node = topo.add_node(
+            format!("{}-adns", PROVIDER_NAMES[p]),
+            NodeKind::Host,
+            Asn(20940 + p as u32),
+            adns_pop.1,
+            vec![adns_addr],
+        );
+        topo.add_link(adns_node, adns_pop.0, netsim::LatencyModel::constant_ms(1));
+        cdn_plans.push((replicas, replica_nodes, adns_node, adns_addr));
+    }
+
+    // --- Carriers ---
+    let mut carrier_profiles = six_carriers();
+    if config.three_g_era {
+        carrier_profiles = carrier_profiles
+            .into_iter()
+            .map(|p| p.as_three_g())
+            .collect();
+    }
+    for p in carrier_profiles.iter_mut() {
+        p.client_count = ((p.client_count as f64 * config.fleet_scale).round() as usize).max(1);
+        p.gateway_count = ((p.gateway_count as f64 * config.gateway_scale).round() as usize).max(2);
+    }
+    let mut carriers = Vec::new();
+    let mut devices = Vec::new();
+    for (i, profile) in carrier_profiles.into_iter().enumerate() {
+        let region = match profile.country {
+            Country::Us => GeoRegion::us(),
+            Country::SouthKorea => GeoRegion::south_korea(),
+        };
+        let backbone = match profile.country {
+            Country::Us => &us_pops,
+            Country::SouthKorea => &kr_pops,
+        };
+        let mut carrier = build_carrier(&mut topo, i, profile, region, backbone, &mut rng);
+        let first_id = devices.len();
+        devices.extend(create_devices(&mut topo, &mut carrier, first_id, &mut rng));
+        carriers.push(carrier);
+    }
+
+    // --- Hierarchy zones ---
+    let mut h = HierarchyBuilder::new();
+    for (label, addr, _) in &tld_nodes {
+        h.add_tld(label, *addr);
+    }
+    h.add_domain("probe.example", probe_addr);
+    for entry in &catalog {
+        let (_, _, _, adns_addr) = &cdn_plans[entry.provider];
+        h.add_domain(&entry.zone.to_string(), *adns_addr);
+    }
+    for p in 0..PROVIDER_COUNT {
+        let (_, _, _, adns_addr) = &cdn_plans[p];
+        h.add_domain(&format!("{}.example", PROVIDER_NAMES[p]), *adns_addr);
+    }
+    let built = h.build();
+
+    // --- Create the engine and install services ---
+    let mut net = Network::new(topo, config.seed.wrapping_mul(0x9E3779B97F4A7C15));
+
+    let mut root_srv = AuthoritativeServer::new();
+    root_srv.add_zone(built.root);
+    net.register_service(root_node, DNS_PORT, Box::new(root_srv));
+    for (label, _, zone) in built.tlds {
+        let (_, _, node) = tld_nodes
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .expect("tld node exists");
+        let mut srv = AuthoritativeServer::new();
+        srv.add_zone(zone);
+        net.register_service(*node, DNS_PORT, Box::new(srv));
+    }
+
+    // Probe ADNS: whoami dynamic zone under a static apex.
+    let probe_zone = DnsName::parse("whoami.probe.example").expect("valid probe zone");
+    let mut probe_srv = AuthoritativeServer::new();
+    let mut apex = Zone::new(DnsName::parse("probe.example").expect("valid"));
+    apex.add_a(
+        DnsName::parse("probe.example").expect("valid"),
+        3600,
+        probe_addr,
+    );
+    probe_srv.add_zone(apex);
+    probe_srv.add_dynamic(Box::new(WhoamiZone::new(probe_zone.clone())));
+    net.register_service(probe_node, DNS_PORT, Box::new(probe_srv));
+
+    // CDNs: knowledge tables, mapping + edge zones, replica HTTP servers.
+    let mut cdns = Vec::new();
+    for (p, (replicas, replica_nodes, adns_node, adns_addr)) in
+        cdn_plans.into_iter().enumerate()
+    {
+        let mut cdn = Cdn::new(CdnConfig::new(PROVIDER_NAMES[p]), replicas);
+        // Measured prefixes: public-DNS site /24s and the university.
+        for (pd, _) in &public_built {
+            for site in &pd.sites {
+                cdn.add_measured(site.prefix, site.coord);
+            }
+        }
+        cdn.add_measured(
+            Prefix::slash24_of(Ipv4Addr::new(129, 105, 5, 5)),
+            pops[6].1,
+        );
+        // Under an ECS deployment, CDNs learn the carrier egress /24s'
+        // locations from their own server logs (those NAT addresses appear
+        // as HTTP clients every day).
+        if config.ecs {
+            for carrier in &carriers {
+                for site in &carrier.sites {
+                    cdn.add_measured(Prefix::slash24_of(site.egress_addr), site.coord);
+                }
+            }
+        }
+        // Coarse believed-centroids for the unprobeable carrier blocks: the
+        // carrier's main peering metro.
+        for carrier in &carriers {
+            let centroid = match carrier.profile.country {
+                Country::Us => us_pops[4].1,  // Dallas-ish
+                Country::SouthKorea => kr_pops[0].1,
+            };
+            let first_octet = carrier.public_prefix.network().octets()[0];
+            cdn.add_coarse_centroid(first_octet, centroid);
+            // Geo-database anchor per resolver /24: the true location of
+            // the prefix's first member. Regionally right for that member,
+            // and distant for the members from other regions sharing the
+            // /24 — the paper's mis-association mechanism.
+            let mut seen: std::collections::HashSet<Prefix> =
+                std::collections::HashSet::new();
+            for &(node, addr) in &carrier.external_resolvers {
+                let prefix = Prefix::slash24_of(addr);
+                if seen.insert(prefix) {
+                    cdn.add_prefix_anchor(prefix, net.topo().node(node).coord);
+                }
+            }
+        }
+        let cdn = Arc::new(cdn);
+        let mut adns = AuthoritativeServer::new();
+        for entry in catalog.iter().filter(|e| e.provider == p) {
+            adns.add_dynamic(Box::new(MappingZone::new(
+                entry.zone.clone(),
+                DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                    .expect("valid edge suffix"),
+                Arc::clone(&cdn),
+            )));
+        }
+        adns.add_dynamic(Box::new(EdgeZone::new(
+            DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                .expect("valid edge zone"),
+            Arc::clone(&cdn),
+        )));
+        net.register_service(adns_node, DNS_PORT, Box::new(adns));
+        for &(node, _) in &replica_nodes {
+            // Index pages of ~16 KiB served over TCP-lite: TTFB pays the
+            // real handshake and the transfer pays segmentation + loss.
+            net.register_service(
+                node,
+                HTTP_PORT,
+                Box::new(TcpHttpServer::new(16 * 1024, SimDuration::from_millis(8))),
+            );
+        }
+        cdns.push(CdnNet {
+            provider: p,
+            cdn,
+            replicas: replica_nodes,
+            adns: (adns_node, adns_addr),
+        });
+    }
+
+    // Public DNS recursive resolvers + anycast VIPs.
+    let roots = vec![root_addr];
+    let mut public_dns = Vec::new();
+    for (pd, nodes) in public_built {
+        for site in &pd.sites {
+            let mut cfg = ResolverConfig::new(roots.clone());
+            cfg.egress_addrs = site.egress_addrs.clone();
+            if let Some(period) = config.ambient_period {
+                cfg.ambient = Some(dnssim::cache::AmbientModel {
+                    period,
+                    phase: SimDuration::from_micros(
+                        site.prefix.network().octets()[2] as u64 * 4_999_999,
+                    ),
+                });
+            }
+            net.register_service(site.node, DNS_PORT, Box::new(RecursiveResolver::new(cfg)));
+        }
+        net.add_anycast(pd.vip, nodes);
+        public_dns.push(pd);
+    }
+
+    // Carrier services and middleboxes.
+    for carrier in &carriers {
+        install_carrier_services(&mut net, carrier, &roots, config.ambient_period, config.ecs);
+    }
+
+    // Schedule each device's first IP-reassignment.
+    let mut world_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    for d in devices.iter_mut() {
+        let mean = carriers[d.carrier].profile.ip_reassign_mean.as_micros();
+        let jitter: f64 = -world_rng.gen_range(1e-9_f64..1.0_f64).ln();
+        d.next_ip_change =
+            netsim::SimTime::ZERO + SimDuration::from_micros((mean as f64 * jitter) as u64);
+    }
+
+    World {
+        net,
+        config,
+        carriers,
+        devices,
+        public_dns,
+        cdns,
+        catalog,
+        probe_zone,
+        university,
+        roots,
+        rng: world_rng,
+    }
+}
+
+impl World {
+    /// Carrier index by name.
+    pub fn carrier_index(&self, name: &str) -> Option<usize> {
+        self.carriers.iter().position(|c| c.profile.name == name)
+    }
+
+    /// The profile of a carrier.
+    pub fn profile(&self, carrier: usize) -> &CarrierProfile {
+        &self.carriers[carrier].profile
+    }
+
+    /// Indices of the devices on one carrier.
+    pub fn devices_of(&self, carrier: usize) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.carrier == carrier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_world_builds() {
+        let w = build_world(WorldConfig::quick(7));
+        assert_eq!(w.carriers.len(), 6);
+        assert!(!w.devices.is_empty());
+        assert_eq!(w.public_dns.len(), 2);
+        assert_eq!(w.cdns.len(), 4);
+        assert_eq!(w.catalog.len(), 9);
+    }
+
+    #[test]
+    fn full_world_matches_paper_scale() {
+        let w = build_world(WorldConfig::default());
+        assert_eq!(w.devices.len(), 158);
+        let us_gateways: usize = w
+            .carriers
+            .iter()
+            .filter(|c| c.profile.country == Country::Us)
+            .map(|c| c.sites.len())
+            .sum();
+        assert_eq!(us_gateways, 11 + 45 + 62 + 49);
+        assert_eq!(w.public_dns[0].sites.len(), 30);
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = build_world(WorldConfig::quick(3));
+        let b = build_world(WorldConfig::quick(3));
+        assert_eq!(a.net.topo().node_count(), b.net.topo().node_count());
+        assert_eq!(a.devices.len(), b.devices.len());
+        for (x, y) in a.devices.iter().zip(&b.devices) {
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.configured_dns, y.configured_dns);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Address utilities: CIDR prefixes and sequential allocators.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    network: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix, masking host bits off `addr`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let mask = Self::mask(len);
+        Prefix {
+            network: u32::from(addr) & mask,
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// The prefix length.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask(self.len) == self.network
+    }
+
+    /// The /24 prefix covering `addr` — the aggregation granularity used
+    /// throughout the paper's analysis.
+    pub fn slash24_of(addr: Ipv4Addr) -> Prefix {
+        Prefix::new(addr, 24)
+    }
+
+    /// Number of host addresses (including network/broadcast, which the
+    /// simulation happily assigns).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// The `i`-th address in the prefix.
+    pub fn addr(&self, i: u32) -> Ipv4Addr {
+        debug_assert!((i as u64) < self.size());
+        Ipv4Addr::from(self.network + i)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| format!("no '/' in {s}"))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|e| format!("{e}"))?;
+        let len: u8 = len.parse().map_err(|e| format!("{e}"))?;
+        if len > 32 {
+            return Err(format!("prefix length {len} out of range"));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+/// Allocates addresses out of a prefix, preferring released addresses —
+/// which is exactly how cellular bearers recycle their ephemeral pools
+/// ("similar IPs are assigned to geographically distant devices",
+/// Balakrishnan et al.).
+#[derive(Debug, Clone)]
+pub struct AddrAllocator {
+    prefix: Prefix,
+    next: u32,
+    freed: Vec<Ipv4Addr>,
+}
+
+impl AddrAllocator {
+    /// Starts allocating from the first address of `prefix`.
+    pub fn new(prefix: Prefix) -> Self {
+        AddrAllocator {
+            prefix,
+            next: 0,
+            freed: Vec::new(),
+        }
+    }
+
+    /// The prefix being allocated from.
+    pub fn prefix(&self) -> Prefix {
+        self.prefix
+    }
+
+    /// Allocates an address, reusing released ones first; panics if the
+    /// prefix is exhausted (a configuration error, not a runtime
+    /// condition).
+    pub fn alloc(&mut self) -> Ipv4Addr {
+        if let Some(a) = self.freed.pop() {
+            return a;
+        }
+        assert!(
+            (self.next as u64) < self.prefix.size(),
+            "prefix {} exhausted",
+            self.prefix
+        );
+        let a = self.prefix.addr(self.next);
+        self.next += 1;
+        a
+    }
+
+    /// Returns a previously allocated address to the pool.
+    pub fn release(&mut self, addr: Ipv4Addr) {
+        debug_assert!(self.prefix.contains(addr), "{addr} not in {}", self.prefix);
+        self.freed.push(addr);
+    }
+
+    /// Number of addresses handed out and never released.
+    pub fn allocated(&self) -> u32 {
+        self.next - self.freed.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_host_bits() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 24);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 2, 0));
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn containment() {
+        let p = Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8);
+        assert!(p.contains(Ipv4Addr::new(10, 255, 1, 2)));
+        assert!(!p.contains(Ipv4Addr::new(11, 0, 0, 1)));
+        let all = Prefix::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(all.contains(Ipv4Addr::new(203, 0, 113, 7)));
+    }
+
+    #[test]
+    fn slash24_aggregation() {
+        let a = Prefix::slash24_of(Ipv4Addr::new(66, 174, 92, 10));
+        let b = Prefix::slash24_of(Ipv4Addr::new(66, 174, 92, 200));
+        let c = Prefix::slash24_of(Ipv4Addr::new(66, 174, 93, 10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let p: Prefix = "198.51.100.0/24".parse().unwrap();
+        assert_eq!(p, Prefix::new(Ipv4Addr::new(198, 51, 100, 0), 24));
+        assert!("198.51.100.0".parse::<Prefix>().is_err());
+        assert!("x/24".parse::<Prefix>().is_err());
+        assert!("1.2.3.4/40".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn allocator_hands_out_sequential_addrs() {
+        let mut a = AddrAllocator::new("192.0.2.0/30".parse().unwrap());
+        assert_eq!(a.alloc(), Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(a.alloc(), Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(a.allocated(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn allocator_panics_when_exhausted() {
+        let mut a = AddrAllocator::new("192.0.2.0/32".parse().unwrap());
+        a.alloc();
+        a.alloc();
+    }
+
+    #[test]
+    fn allocator_recycles_released_addrs() {
+        let mut a = AddrAllocator::new("192.0.2.0/31".parse().unwrap());
+        let x = a.alloc();
+        let _y = a.alloc();
+        a.release(x);
+        assert_eq!(a.allocated(), 1);
+        // Next alloc reuses the released address instead of exhausting.
+        assert_eq!(a.alloc(), x);
+    }
+
+    #[test]
+    fn prefix_size() {
+        assert_eq!(Prefix::new(Ipv4Addr::new(1, 0, 0, 0), 24).size(), 256);
+        assert_eq!(Prefix::new(Ipv4Addr::new(1, 0, 0, 0), 32).size(), 1);
+    }
+}

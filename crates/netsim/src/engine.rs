@@ -1,0 +1,1162 @@
+//! The discrete-event engine: event queue, hop-by-hop forwarding,
+//! middlebox traversal, service dispatch, and client transaction tracking.
+//!
+//! Following the event-driven design the guides recommend, every protocol
+//! endpoint is a state machine ([`UdpService`]) that reacts to datagrams and
+//! returns egress actions; the engine owns all shared state, so there is no
+//! interior mutability on the hot path and runs are bit-deterministic from
+//! the seed.
+
+use crate::packet::{IcmpMsg, Packet, ProbeKey, Transport};
+use crate::route::RouteTable;
+use crate::trace::{TraceEvent, Tracer};
+use crate::time::{SimDuration, SimTime};
+use crate::topo::{NodeId, NodeKind, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Identifier of a client transaction (an outstanding probe or request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// Result of a completed client transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowResult {
+    /// A UDP response arrived.
+    Response {
+        /// Address the response came from.
+        from: Ipv4Addr,
+        /// Response payload.
+        payload: Vec<u8>,
+    },
+    /// An ICMP echo reply arrived.
+    EchoReply {
+        /// Address the reply came from.
+        from: Ipv4Addr,
+    },
+    /// An ICMP time-exceeded arrived (traceroute hop discovery).
+    TimeExceeded {
+        /// Router that reported the expiry.
+        from: Ipv4Addr,
+    },
+    /// An ICMP destination-unreachable arrived.
+    Unreachable {
+        /// Node that reported it.
+        from: Ipv4Addr,
+    },
+    /// No answer before the deadline.
+    TimedOut,
+}
+
+/// A completed transaction with timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowOutcome {
+    /// When the request left the client.
+    pub sent_at: SimTime,
+    /// When the completion was recorded.
+    pub completed_at: SimTime,
+    /// What happened.
+    pub result: FlowResult,
+}
+
+impl FlowOutcome {
+    /// Round-trip time (completion minus send).
+    pub fn rtt(&self) -> SimDuration {
+        self.completed_at.since(self.sent_at)
+    }
+
+    /// Whether the flow produced any answer at all.
+    pub fn answered(&self) -> bool {
+        !matches!(self.result, FlowResult::TimedOut)
+    }
+}
+
+/// Outgoing datagram requested by a service.
+#[derive(Debug, Clone)]
+pub struct Egress {
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Extra processing delay before the datagram leaves the node.
+    pub delay: SimDuration,
+    /// Source address override. `None` sends from the address the service
+    /// was queried on; public-DNS sites use this to recurse from their
+    /// per-site egress address rather than the anycast VIP.
+    pub src_addr: Option<Ipv4Addr>,
+}
+
+impl Egress {
+    /// A reply to the datagram's sender, from the queried address.
+    pub fn reply(dst: Ipv4Addr, dst_port: u16, payload: Vec<u8>, delay: SimDuration) -> Self {
+        Egress {
+            dst,
+            dst_port,
+            payload,
+            delay,
+            src_addr: None,
+        }
+    }
+
+    /// Sets the source address override.
+    pub fn from_addr(mut self, src: Ipv4Addr) -> Self {
+        self.src_addr = Some(src);
+        self
+    }
+}
+
+/// Context handed to a service while it processes a datagram or a timer
+/// tick.
+pub struct ServiceCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The local address the datagram was addressed to (matters for
+    /// anycast: the service sees which identity was queried). For timer
+    /// ticks this is the node's primary address.
+    pub local_addr: Ipv4Addr,
+    /// Deterministic RNG shared by the whole simulation.
+    pub rng: &'a mut StdRng,
+    /// Set by the service to request a [`UdpService::tick`] callback after
+    /// this duration (smoltcp-style `poll_at`). The engine reads it after
+    /// each `handle`/`tick` call.
+    pub wake_after: Option<SimDuration>,
+}
+
+/// A UDP protocol endpoint (DNS server, resolver, HTTP-lite server, …).
+///
+/// All datagrams addressed to the service's port are delivered to
+/// [`UdpService::handle`], *including responses to queries the service sent
+/// upstream from that same port* — services are full state machines.
+pub trait UdpService {
+    /// Processes one datagram and returns any datagrams to send.
+    fn handle(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Ipv4Addr,
+        from_port: u16,
+        payload: &[u8],
+    ) -> Vec<Egress>;
+
+    /// Timer callback, fired when the service requested a wake-up via
+    /// [`ServiceCtx::wake_after`]. Default: do nothing.
+    fn tick(&mut self, ctx: &mut ServiceCtx<'_>) -> Vec<Egress> {
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Downcast hook so drivers can inspect a registered service's state
+    /// (e.g. a TCP-lite fetch in progress). Default: not inspectable.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Counters describing what the network did; used by tests and diagnostics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Events dispatched.
+    pub events: u64,
+    /// Hop-by-hop forwards performed.
+    pub forwards: u64,
+    /// Local deliveries.
+    pub delivered: u64,
+    /// Packets dropped by a firewall.
+    pub firewall_drops: u64,
+    /// Inbound packets dropped for missing NAT state.
+    pub nat_drops: u64,
+    /// Packets that expired in transit.
+    pub ttl_expired: u64,
+    /// Packets with no route or no owner.
+    pub unreachable: u64,
+    /// Client transactions that timed out.
+    pub timeouts: u64,
+    /// Packets lost on lossy links.
+    pub link_losses: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A packet arriving at a node from the network: full middlebox
+    /// processing and TTL handling applies.
+    Arrive { node: NodeId, packet: Packet },
+    /// A packet originated by the node itself: no TTL decrement and no
+    /// middlebox traversal at the origin (hosts do not firewall themselves).
+    Send { node: NodeId, packet: Packet },
+    /// Timer tick requested by a service.
+    ServiceTick { node: NodeId, port: u16 },
+    FlowTimeout { flow: FlowId },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    node: NodeId,
+    sent_at: SimTime,
+    /// Demux keys to clean up on completion.
+    port: Option<u16>,
+    ident: Option<u64>,
+}
+
+/// Per-hop forwarding/processing delay added on top of link latency.
+const NODE_PROC_DELAY: SimDuration = SimDuration::from_micros(50);
+
+/// Ephemeral port range for client transactions.
+const EPHEMERAL_LO: u16 = 32_768;
+const EPHEMERAL_HI: u16 = 60_999;
+
+/// The simulated network: topology + routes + services + event queue.
+pub struct Network {
+    topo: Topology,
+    routes: RouteTable,
+    anycast: HashMap<Ipv4Addr, Vec<NodeId>>,
+    services: HashMap<(NodeId, u16), Box<dyn UdpService>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    pending: HashMap<FlowId, Pending>,
+    port_index: HashMap<(NodeId, u16), FlowId>,
+    ident_index: HashMap<u64, FlowId>,
+    completed: HashMap<FlowId, FlowOutcome>,
+    next_flow: u64,
+    next_port: u16,
+    /// Per (link, direction) transmit-queue occupancy: when the link is
+    /// next free. Only consulted for capacity-limited links.
+    link_busy_until: Vec<[SimTime; 2]>,
+    /// Activity counters.
+    pub stats: NetStats,
+    /// Optional packet tracer (disabled by default).
+    pub tracer: Tracer,
+}
+
+impl Network {
+    /// Wraps a finished topology; routes are computed immediately.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        let routes = RouteTable::build(&topo);
+        let link_busy_until = vec![[SimTime::ZERO; 2]; topo.links().len()];
+        Network {
+            topo,
+            routes,
+            anycast: HashMap::new(),
+            services: HashMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            pending: HashMap::new(),
+            port_index: HashMap::new(),
+            ident_index: HashMap::new(),
+            completed: HashMap::new(),
+            next_flow: 1,
+            next_port: EPHEMERAL_LO,
+            link_busy_until,
+            stats: NetStats::default(),
+            tracer: Tracer::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the topology. Changing the *shape* (nodes/links)
+    /// requires [`Network::rebuild_routes`]; retuning latency models does
+    /// not.
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Recomputes the route table after structural topology changes.
+    pub fn rebuild_routes(&mut self) {
+        self.routes = RouteTable::build(&self.topo);
+    }
+
+    /// Read access to the route table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// The deterministic RNG (for layers above that need randomness in the
+    /// same stream).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Declares `addr` an anycast address served by `instances`. Each
+    /// router forwards toward its nearest instance, as BGP anycast would.
+    pub fn add_anycast(&mut self, addr: Ipv4Addr, instances: Vec<NodeId>) {
+        assert!(
+            self.topo.owner_of(addr).is_none(),
+            "{addr} already unicast-owned"
+        );
+        assert!(!instances.is_empty(), "anycast {addr} with no instances");
+        self.anycast.insert(addr, instances);
+    }
+
+    /// Registers a service on `(node, port)`.
+    pub fn register_service(
+        &mut self,
+        node: NodeId,
+        port: u16,
+        service: Box<dyn UdpService>,
+    ) {
+        let prior = self.services.insert((node, port), service);
+        assert!(prior.is_none(), "duplicate service on {node:?}:{port}");
+    }
+
+    /// Removes a service, returning it.
+    pub fn unregister_service(&mut self, node: NodeId, port: u16) -> Option<Box<dyn UdpService>> {
+        self.services.remove(&(node, port))
+    }
+
+    /// Schedules an immediate [`UdpService::tick`] for a service (used to
+    /// start client-side state machines such as TCP-lite fetches).
+    pub fn kick_service(&mut self, node: NodeId, port: u16) {
+        self.schedule(self.now, EventKind::ServiceTick { node, port });
+    }
+
+    /// Inspects a registered service's concrete state via its
+    /// [`UdpService::as_any`] hook.
+    pub fn service_as<T: 'static>(&self, node: NodeId, port: u16) -> Option<&T> {
+        self.services
+            .get(&(node, port))?
+            .as_any()?
+            .downcast_ref::<T>()
+    }
+
+    /// Allocates an ephemeral port with no service and no pending
+    /// transaction on `node` (for client-side service state machines).
+    pub fn alloc_client_port(&mut self, node: NodeId) -> u16 {
+        self.alloc_port(node)
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time: at.max(self.now),
+            seq,
+            kind,
+        }));
+    }
+
+    fn alloc_flow(&mut self) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        id
+    }
+
+    fn alloc_port(&mut self, node: NodeId) -> u16 {
+        // Skip ports with an outstanding transaction or a registered
+        // service on this node.
+        for _ in 0..=(EPHEMERAL_HI - EPHEMERAL_LO) {
+            let p = self.next_port;
+            self.next_port = if p >= EPHEMERAL_HI {
+                EPHEMERAL_LO
+            } else {
+                p + 1
+            };
+            if !self.port_index.contains_key(&(node, p))
+                && !self.services.contains_key(&(node, p))
+            {
+                return p;
+            }
+        }
+        panic!("ephemeral ports exhausted on {node:?}");
+    }
+
+    /// Sends a UDP request from `node` and tracks it as a transaction.
+    pub fn udp_request(
+        &mut self,
+        node: NodeId,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Vec<u8>,
+        timeout: SimDuration,
+    ) -> FlowId {
+        let flow = self.alloc_flow();
+        let src_port = self.alloc_port(node);
+        let src = self.topo.node(node).primary_addr();
+        let packet = Packet::udp(src, src_port, dst, dst_port, payload);
+        self.pending.insert(
+            flow,
+            Pending {
+                node,
+                sent_at: self.now,
+                port: Some(src_port),
+                ident: None,
+            },
+        );
+        self.port_index.insert((node, src_port), flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
+        flow
+    }
+
+    /// Sends a TTL-limited UDP probe (one traceroute step) from `node`.
+    pub fn udp_probe_ttl(
+        &mut self,
+        node: NodeId,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        ttl: u8,
+        timeout: SimDuration,
+    ) -> FlowId {
+        let flow = self.alloc_flow();
+        let src_port = self.alloc_port(node);
+        let src = self.topo.node(node).primary_addr();
+        let mut packet = Packet::udp(src, src_port, dst, dst_port, b"probe".to_vec());
+        packet.ttl = ttl;
+        self.pending.insert(
+            flow,
+            Pending {
+                node,
+                sent_at: self.now,
+                port: Some(src_port),
+                ident: None,
+            },
+        );
+        self.port_index.insert((node, src_port), flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
+        flow
+    }
+
+    /// Sends an ICMP echo request (one ping probe) from `node`.
+    pub fn ping(&mut self, node: NodeId, dst: Ipv4Addr, timeout: SimDuration) -> FlowId {
+        self.probe_ttl(node, dst, crate::packet::DEFAULT_TTL, timeout)
+    }
+
+    /// Sends an ICMP echo request with an explicit TTL (traceroute probe).
+    pub fn probe_ttl(
+        &mut self,
+        node: NodeId,
+        dst: Ipv4Addr,
+        ttl: u8,
+        timeout: SimDuration,
+    ) -> FlowId {
+        let flow = self.alloc_flow();
+        // Upper 48 bits carry the flow id through NAT rewrites of the low 16.
+        let ident = (flow.0 << 16) | (flow.0 & 0xFFFF);
+        let src = self.topo.node(node).primary_addr();
+        let mut packet = Packet::echo_request(src, dst, ident, 0);
+        packet.ttl = ttl;
+        self.pending.insert(
+            flow,
+            Pending {
+                node,
+                sent_at: self.now,
+                port: None,
+                ident: Some(flow.0),
+            },
+        );
+        self.ident_index.insert(flow.0, flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
+        flow
+    }
+
+    /// Takes the outcome of a completed flow, if it has completed.
+    pub fn poll(&mut self, flow: FlowId) -> Option<FlowOutcome> {
+        self.completed.remove(&flow)
+    }
+
+    /// Runs the engine until `flow` completes (or the queue empties, which
+    /// counts as a timeout).
+    pub fn run_until(&mut self, flow: FlowId) -> FlowOutcome {
+        loop {
+            if let Some(outcome) = self.completed.remove(&flow) {
+                return outcome;
+            }
+            if !self.step() {
+                // Queue drained without completion: synthesize a timeout.
+                self.complete(flow, FlowResult::TimedOut);
+                return self.completed.remove(&flow).expect("just completed");
+            }
+        }
+    }
+
+    /// Runs until all the given flows complete; returns outcomes in order.
+    pub fn run_until_all(&mut self, flows: &[FlowId]) -> Vec<FlowOutcome> {
+        flows.iter().map(|&f| self.run_until(f)).collect()
+    }
+
+    /// Dispatches one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
+            EventKind::Send { node, packet } => self.on_send(node, packet),
+            EventKind::ServiceTick { node, port } => self.on_service_tick(node, port),
+            EventKind::FlowTimeout { flow } => {
+                if self.pending.contains_key(&flow) {
+                    self.stats.timeouts += 1;
+                    self.complete(flow, FlowResult::TimedOut);
+                }
+            }
+        }
+        true
+    }
+
+    /// Processes all events scheduled at or before `t`, then advances the
+    /// clock to `t`. Used by campaign drivers to pace experiments.
+    pub fn skip_to(&mut self, t: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drains the queue completely (bounded by `max_events` as a safety
+    /// valve); returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    fn complete(&mut self, flow: FlowId, result: FlowResult) {
+        if let Some(p) = self.pending.remove(&flow) {
+            if let Some(port) = p.port {
+                self.port_index.remove(&(p.node, port));
+            }
+            if let Some(ident) = p.ident {
+                self.ident_index.remove(&ident);
+            }
+            self.completed.insert(
+                flow,
+                FlowOutcome {
+                    sent_at: p.sent_at,
+                    completed_at: self.now,
+                    result,
+                },
+            );
+        }
+    }
+
+    /// Resolves a destination address to a node, honoring anycast from the
+    /// viewpoint of `from`.
+    fn resolve_dst(&self, from: NodeId, dst: Ipv4Addr) -> Option<NodeId> {
+        if let Some(node) = self.topo.owner_of(dst) {
+            return Some(node);
+        }
+        let instances = self.anycast.get(&dst)?;
+        instances
+            .iter()
+            .copied()
+            .filter(|&n| self.routes.reachable(from, n))
+            .min_by_key(|&n| (self.routes.dist(from, n), n))
+    }
+
+    fn on_arrive(&mut self, node: NodeId, mut packet: Packet) {
+        // 1. Un-NAT inbound packets addressed to this node's NAT pool, so the
+        //    firewall sees inside-view addresses.
+        let has_nat = self.topo.node(node).nat.is_some();
+        if has_nat {
+            let public = self
+                .topo
+                .node(node)
+                .nat
+                .as_ref()
+                .expect("checked")
+                .public_addr();
+            if packet.dst == public {
+                let nat = self.topo.node_mut(node).nat.as_mut().expect("checked");
+                match nat.translate(packet) {
+                    Some(p) => packet = p,
+                    None => {
+                        self.stats.nat_drops += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        // 2. Firewall.
+        if self.topo.node(node).firewall.is_some() {
+            let now = self.now;
+            let fw = self.topo.node_mut(node).firewall.as_mut().expect("checked");
+            if fw.check(&packet, now) == crate::middlebox::Verdict::Drop {
+                self.stats.firewall_drops += 1;
+                self.tracer
+                    .record(self.now, node, TraceEvent::FirewallDrop, &packet);
+                return;
+            }
+        }
+        // 3. Local delivery (NAT-in already restored inside addresses).
+        let local = self.topo.node(node).addrs.contains(&packet.dst)
+            || self
+                .anycast
+                .get(&packet.dst)
+                .is_some_and(|inst| inst.contains(&node));
+        if local {
+            self.tracer
+                .record(self.now, node, TraceEvent::Delivered, &packet);
+            self.deliver(node, packet);
+            return;
+        }
+        // 4. TTL handling happens before outbound NAT so ICMP errors carry
+        //    the original (inside) source and route back to the prober —
+        //    this is what makes egress routers visible to traceroute.
+        let kind = self.topo.node(node).kind;
+        if kind != NodeKind::TransparentRouter {
+            if packet.ttl <= 1 {
+                self.stats.ttl_expired += 1;
+                self.tracer
+                    .record(self.now, node, TraceEvent::TtlExpired, &packet);
+                self.send_icmp_error(node, &packet, true);
+                return;
+            }
+            packet.ttl -= 1;
+        }
+        // 5. NAT outbound.
+        if has_nat {
+            let nat = self.topo.node_mut(node).nat.as_mut().expect("checked");
+            match nat.translate(packet) {
+                Some(p) => packet = p,
+                None => {
+                    self.stats.nat_drops += 1;
+                    return;
+                }
+            }
+        }
+        // 6. Transmit (TTL already handled).
+        self.transmit(node, packet);
+    }
+
+    fn deliver(&mut self, node: NodeId, packet: Packet) {
+        self.stats.delivered += 1;
+        match packet.transport {
+            Transport::Icmp(IcmpMsg::EchoRequest { ident, seq }) => {
+                if self.topo.node(node).answers_ping.answers(packet.src) {
+                    let reply = Packet {
+                        src: packet.dst,
+                        dst: packet.src,
+                        ttl: crate::packet::DEFAULT_TTL,
+                        transport: Transport::Icmp(IcmpMsg::EchoReply { ident, seq }),
+                    };
+                    let at = self.now + NODE_PROC_DELAY;
+                    self.schedule(at, EventKind::Send { node, packet: reply });
+                }
+            }
+            Transport::Icmp(IcmpMsg::EchoReply { ident, .. }) => {
+                let key = ident >> 16;
+                if let Some(&flow) = self.ident_index.get(&key) {
+                    let from = packet.src;
+                    self.complete(flow, FlowResult::EchoReply { from });
+                }
+            }
+            Transport::Icmp(IcmpMsg::TimeExceeded { original }) => {
+                let from = packet.src;
+                if let Some(flow) = self.flow_for_original(node, &original) {
+                    self.complete(flow, FlowResult::TimeExceeded { from });
+                }
+            }
+            Transport::Icmp(IcmpMsg::DestUnreachable { original }) => {
+                let from = packet.src;
+                if let Some(flow) = self.flow_for_original(node, &original) {
+                    self.complete(flow, FlowResult::Unreachable { from });
+                }
+            }
+            Transport::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => {
+                if self.services.contains_key(&(node, dst_port)) {
+                    self.dispatch_service(node, dst_port, packet.dst, packet.src, src_port, payload);
+                } else if let Some(&flow) = self.port_index.get(&(node, dst_port)) {
+                    let from = packet.src;
+                    self.complete(flow, FlowResult::Response { from, payload });
+                } else {
+                    // Closed port: unreachable back to sender.
+                    let key = ProbeKey {
+                        src: packet.src,
+                        dst: packet.dst,
+                        ident: 0,
+                        seq: 0,
+                        udp_ports: Some((src_port, dst_port)),
+                    };
+                    let err = Packet {
+                        src: packet.dst,
+                        dst: packet.src,
+                        ttl: crate::packet::DEFAULT_TTL,
+                        transport: Transport::Icmp(IcmpMsg::DestUnreachable { original: key }),
+                    };
+                    let at = self.now + NODE_PROC_DELAY;
+                    self.schedule(at, EventKind::Send { node, packet: err });
+                }
+            }
+        }
+    }
+
+    fn flow_for_original(&self, node: NodeId, original: &ProbeKey) -> Option<FlowId> {
+        match original.udp_ports {
+            Some((src_port, _)) => self.port_index.get(&(node, src_port)).copied(),
+            None => self.ident_index.get(&(original.ident >> 16)).copied(),
+        }
+    }
+
+    /// Fires a requested service timer.
+    fn on_service_tick(&mut self, node: NodeId, port: u16) {
+        let Some(mut service) = self.services.remove(&(node, port)) else {
+            return; // service was unregistered in the meantime
+        };
+        let local_addr = self.topo.node(node).primary_addr();
+        let mut ctx = ServiceCtx {
+            now: self.now,
+            local_addr,
+            rng: &mut self.rng,
+            wake_after: None,
+        };
+        let egress = service.tick(&mut ctx);
+        let wake = ctx.wake_after;
+        self.services.insert((node, port), service);
+        self.apply_service_output(node, port, local_addr, egress, wake);
+    }
+
+    /// Common tail of service dispatch: send egress datagrams and schedule
+    /// a requested wake-up.
+    fn apply_service_output(
+        &mut self,
+        node: NodeId,
+        port: u16,
+        local_addr: Ipv4Addr,
+        egress: Vec<Egress>,
+        wake: Option<SimDuration>,
+    ) {
+        if let Some(d) = wake {
+            let at = self.now + d;
+            self.schedule(at, EventKind::ServiceTick { node, port });
+        }
+        for e in egress {
+            let src = e.src_addr.unwrap_or(local_addr);
+            debug_assert!(
+                self.topo.node(node).addrs.contains(&src)
+                    || self
+                        .anycast
+                        .get(&src)
+                        .is_some_and(|inst| inst.contains(&node)),
+                "service egress from unowned address {src}"
+            );
+            let out = Packet::udp(src, port, e.dst, e.dst_port, e.payload);
+            let at = self.now + NODE_PROC_DELAY + e.delay;
+            self.schedule(at, EventKind::Send { node, packet: out });
+        }
+    }
+
+    fn dispatch_service(
+        &mut self,
+        node: NodeId,
+        port: u16,
+        local_addr: Ipv4Addr,
+        from: Ipv4Addr,
+        from_port: u16,
+        payload: Vec<u8>,
+    ) {
+        // Temporarily take the service out so it can borrow the engine RNG.
+        let mut service = self
+            .services
+            .remove(&(node, port))
+            .expect("service presence checked");
+        let mut ctx = ServiceCtx {
+            now: self.now,
+            local_addr,
+            rng: &mut self.rng,
+            wake_after: None,
+        };
+        let egress = service.handle(&mut ctx, from, from_port, &payload);
+        let wake = ctx.wake_after;
+        self.services.insert((node, port), service);
+        self.apply_service_output(node, port, local_addr, egress, wake);
+    }
+
+    /// Handles a locally originated packet: local delivery or transmission
+    /// without TTL decrement.
+    fn on_send(&mut self, node: NodeId, packet: Packet) {
+        let local = self.topo.node(node).addrs.contains(&packet.dst)
+            || self
+                .anycast
+                .get(&packet.dst)
+                .is_some_and(|inst| inst.contains(&node));
+        if local {
+            self.deliver(node, packet);
+        } else {
+            self.transmit(node, packet);
+        }
+    }
+
+    /// Picks the next hop toward the destination and schedules arrival.
+    fn transmit(&mut self, node: NodeId, packet: Packet) {
+        let Some(dst_node) = self.resolve_dst(node, packet.dst) else {
+            self.stats.unreachable += 1;
+            self.tracer
+                .record(self.now, node, TraceEvent::Unroutable, &packet);
+            self.send_icmp_error(node, &packet, false);
+            return;
+        };
+        if dst_node == node {
+            // Anycast resolved to ourselves (possible when the instance set
+            // includes this node but the address check missed it).
+            self.deliver(node, packet);
+            return;
+        }
+        let Some(hop) = self.routes.next_hop(node, dst_node) else {
+            self.stats.unreachable += 1;
+            self.send_icmp_error(node, &packet, false);
+            return;
+        };
+        self.stats.forwards += 1;
+        self.tracer
+            .record(self.now, node, TraceEvent::Forwarded, &packet);
+        let loss = self.topo.link(hop.link).loss;
+        if loss > 0.0 {
+            use rand::Rng;
+            if self.rng.gen_bool(loss) {
+                self.stats.link_losses += 1;
+                self.tracer
+                    .record(self.now, node, TraceEvent::LinkLoss, &packet);
+                return;
+            }
+        }
+        let link = self.topo.link(hop.link);
+        let latency = link.latency.sample(&mut self.rng);
+        // Capacity-limited links serialize packets and queue behind earlier
+        // transmissions in the same direction.
+        let depart = if let Some(bps) = link.bandwidth_bps {
+            let dir = usize::from(link.a != node);
+            if hop.link >= self.link_busy_until.len() {
+                self.link_busy_until
+                    .resize(self.topo.links().len(), [SimTime::ZERO; 2]);
+            }
+            let busy = &mut self.link_busy_until[hop.link][dir];
+            let start = (*busy).max(self.now);
+            let ser_us = (packet.wire_size() as u64 * 8 * 1_000_000) / bps;
+            let done = start + SimDuration::from_micros(ser_us.max(1));
+            *busy = done;
+            done
+        } else {
+            self.now
+        };
+        let at = depart + latency + NODE_PROC_DELAY;
+        self.schedule(
+            at,
+            EventKind::Arrive {
+                node: hop.node,
+                packet,
+            },
+        );
+    }
+
+    /// Emits TimeExceeded (`expired == true`) or DestUnreachable back to the
+    /// offending packet's source. Hosts and routers answer; transparent
+    /// routers never do (they cannot expire TTLs either).
+    fn send_icmp_error(&mut self, node: NodeId, offending: &Packet, expired: bool) {
+        // Never answer an ICMP error with another error.
+        if matches!(
+            offending.transport,
+            Transport::Icmp(IcmpMsg::TimeExceeded { .. })
+                | Transport::Icmp(IcmpMsg::DestUnreachable { .. })
+        ) {
+            return;
+        }
+        let original = offending.probe_key();
+        let msg = if expired {
+            IcmpMsg::TimeExceeded { original }
+        } else {
+            IcmpMsg::DestUnreachable { original }
+        };
+        let err = Packet {
+            src: self.topo.node(node).primary_addr(),
+            dst: offending.src,
+            ttl: crate::packet::DEFAULT_TTL,
+            transport: Transport::Icmp(msg),
+        };
+        let at = self.now + NODE_PROC_DELAY;
+        self.schedule(at, EventKind::Send { node, packet: err });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::topo::{Asn, Coord, NodeKind};
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    /// host A -- r1 -- r2 -- host B
+    fn line_network() -> (Network, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+        let r1 = t.add_node("r1", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
+        let r2 = t.add_node("r2", NodeKind::Router, Asn(2), Coord::default(), vec![ip(10, 0, 0, 3)]);
+        let b = t.add_node("b", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 0, 4)]);
+        t.add_link(a, r1, LatencyModel::constant_ms(5));
+        t.add_link(r1, r2, LatencyModel::constant_ms(10));
+        t.add_link(r2, b, LatencyModel::constant_ms(5));
+        (Network::new(t, 1), a, r1, r2, b)
+    }
+
+    #[test]
+    fn ping_round_trip_time() {
+        let (mut net, a, _, _, _) = line_network();
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        assert!(matches!(out.result, FlowResult::EchoReply { from } if from == ip(10, 0, 0, 4)));
+        // 2 * (5+10+5) ms plus small proc delays.
+        let rtt = out.rtt().as_millis_f64();
+        assert!((40.0..42.0).contains(&rtt), "rtt {rtt}");
+    }
+
+    #[test]
+    fn ping_unanswered_when_host_ignores_icmp() {
+        let (mut net, a, _, _, b) = line_network();
+        net.topo_mut().node_mut(b).answers_ping = crate::topo::PingPolicy::Never;
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_millis(200));
+        let out = net.run_until(flow);
+        assert_eq!(out.result, FlowResult::TimedOut);
+        assert_eq!(net.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn traceroute_probe_discovers_hop() {
+        let (mut net, a, _, _, _) = line_network();
+        let flow = net.probe_ttl(a, ip(10, 0, 0, 4), 2, SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        // TTL 2: expires at r2 (a does not decrement its own originations —
+        // the first decrement happens at r1).
+        match out.result {
+            FlowResult::TimeExceeded { from } => assert_eq!(from, ip(10, 0, 0, 3)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_to_closed_port_is_unreachable() {
+        let (mut net, a, _, _, _) = line_network();
+        let flow = net.udp_request(a, ip(10, 0, 0, 4), 9999, vec![1], SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        assert!(matches!(out.result, FlowResult::Unreachable { from } if from == ip(10, 0, 0, 4)));
+    }
+
+    /// A parrot service that echoes payloads back reversed.
+    struct Parrot;
+    impl UdpService for Parrot {
+        fn handle(
+            &mut self,
+            _ctx: &mut ServiceCtx<'_>,
+            from: Ipv4Addr,
+            from_port: u16,
+            payload: &[u8],
+        ) -> Vec<Egress> {
+            let mut p = payload.to_vec();
+            p.reverse();
+            vec![Egress::reply(
+                from,
+                from_port,
+                p,
+                SimDuration::from_micros(100),
+            )]
+        }
+    }
+
+    #[test]
+    fn udp_service_round_trip() {
+        let (mut net, a, _, _, b) = line_network();
+        net.register_service(b, 53, Box::new(Parrot));
+        let flow = net.udp_request(
+            a,
+            ip(10, 0, 0, 4),
+            53,
+            vec![1, 2, 3],
+            SimDuration::from_secs(5),
+        );
+        let out = net.run_until(flow);
+        match out.result {
+            FlowResult::Response { from, payload } => {
+                assert_eq!(from, ip(10, 0, 0, 4));
+                assert_eq!(payload, vec![3, 2, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anycast_routes_to_nearest_instance() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+        let r = t.add_node("r", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
+        let near = t.add_node("near", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 1, 1)]);
+        let far = t.add_node("far", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 2, 1)]);
+        t.add_link(a, r, LatencyModel::constant_ms(1));
+        t.add_link(r, near, LatencyModel::constant_ms(5));
+        t.add_link(r, far, LatencyModel::constant_ms(50));
+        let mut net = Network::new(t, 7);
+        net.add_anycast(ip(8, 8, 8, 8), vec![near, far]);
+        let flow = net.ping(a, ip(8, 8, 8, 8), SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        match out.result {
+            FlowResult::EchoReply { from } => assert_eq!(from, ip(8, 8, 8, 8)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // RTT proves the near instance answered: ~2*(1+5)=12ms, not 102ms.
+        assert!(out.rtt().as_millis_f64() < 20.0, "rtt {}", out.rtt());
+    }
+
+    #[test]
+    fn transparent_router_hides_from_traceroute() {
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+        let lsr = t.add_node(
+            "mpls",
+            NodeKind::TransparentRouter,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
+        let b = t.add_node("b", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 3)]);
+        t.add_link(a, lsr, LatencyModel::constant_ms(1));
+        t.add_link(lsr, b, LatencyModel::constant_ms(1));
+        let mut net = Network::new(t, 3);
+        // TTL 1 passes straight through the LSR and reaches b.
+        let flow = net.probe_ttl(a, ip(10, 0, 0, 3), 1, SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        assert!(matches!(out.result, FlowResult::EchoReply { from } if from == ip(10, 0, 0, 3)));
+    }
+
+    #[test]
+    fn skip_to_advances_clock() {
+        let (mut net, ..) = line_network();
+        assert_eq!(net.now(), SimTime::ZERO);
+        net.skip_to(SimTime::from_micros(5_000_000));
+        assert_eq!(net.now().as_secs(), 5);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut net, a, ..) = line_network();
+            let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+            let out = net.run_until(flow);
+            (out.rtt().as_micros(), net.stats.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bandwidth_serializes_and_queues() {
+        // 1 Mbit/s link: a 1028-byte datagram serializes in ~8.2 ms; ten
+        // of them queue behind each other.
+        let mut t = Topology::new();
+        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+        let b = t.add_node("b", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
+        let link = t.add_link(a, b, LatencyModel::constant_ms(1));
+        t.set_link_bandwidth(link, Some(1_000_000));
+        let mut net = Network::new(t, 5);
+        net.register_service(b, 7, Box::new(Parrot));
+        let flows: Vec<FlowId> = (0..10)
+            .map(|_| {
+                net.udp_request(a, ip(10, 0, 0, 2), 7, vec![0u8; 1000], SimDuration::from_secs(10))
+            })
+            .collect();
+        let outcomes = net.run_until_all(&flows);
+        let rtts: Vec<f64> = outcomes.iter().map(|o| o.rtt().as_millis_f64()).collect();
+        // First packet: ~8.2 ms serialization + 1 ms latency each way plus
+        // the small reply. Last packet queues behind nine others.
+        assert!(rtts[0] > 8.0, "first rtt {}", rtts[0]);
+        assert!(
+            rtts[9] > rtts[0] + 8.0 * 8.0,
+            "no queueing: first {} last {}",
+            rtts[0],
+            rtts[9]
+        );
+    }
+
+    #[test]
+    fn infinite_bandwidth_does_not_queue() {
+        let (mut net, a, ..) = line_network();
+        let flows: Vec<FlowId> = (0..5)
+            .map(|_| net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5)))
+            .collect();
+        let outcomes = net.run_until_all(&flows);
+        let spread = outcomes
+            .iter()
+            .map(|o| o.rtt().as_millis_f64())
+            .fold((f64::MAX, f64::MIN), |(lo, hi), r| (lo.min(r), hi.max(r)));
+        assert!(spread.1 - spread.0 < 1.0, "unexpected queueing {spread:?}");
+    }
+
+    #[test]
+    fn tracer_sees_the_packet_journey() {
+        let (mut net, a, ..) = line_network();
+        net.tracer.enable(64);
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        net.run_until(flow);
+        let dump = net.tracer.dump();
+        assert!(dump.contains("forward"), "{dump}");
+        assert!(dump.contains("deliver"), "{dump}");
+        assert!(dump.contains("10.0.0.4"), "{dump}");
+        // Request out and reply back: at least 2 forwards per router.
+        assert!(net.tracer.len() >= 6, "{} entries", net.tracer.len());
+        net.tracer.disable();
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        net.run_until(flow);
+        assert!(net.tracer.is_empty());
+    }
+
+    #[test]
+    fn run_to_quiescence_is_bounded() {
+        let (mut net, a, ..) = line_network();
+        net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        let n = net.run_to_quiescence(10_000);
+        assert!(n > 0);
+        assert!(!net.step());
+    }
+}

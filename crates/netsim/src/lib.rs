@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! `netsim` — a deterministic discrete-event network simulator.
+//!
+//! This is the substrate the *Behind the Curtain* (IMC 2014) reproduction
+//! runs on: since the paper's cellular vantage points cannot be shipped with
+//! a library, every measurement tool in this workspace runs against a
+//! simulated internet with the same observable structure (see DESIGN.md for
+//! the substitution argument).
+//!
+//! Design (following the event-driven philosophy of the networking guides):
+//!
+//! * [`engine::Network`] owns a binary-heap event queue; time advances only
+//!   by dispatching events, and all randomness flows from one seeded RNG, so
+//!   runs are bit-reproducible.
+//! * Packets ([`packet::Packet`]) are forwarded hop by hop over a routed
+//!   topology ([`topo::Topology`], [`route::RouteTable`]), so TTLs,
+//!   traceroute, anycast, and middleboxes behave like the real thing.
+//! * Protocol endpoints are state machines implementing
+//!   [`engine::UdpService`]; there is no async runtime and no interior
+//!   mutability on the hot path.
+//! * Middleboxes ([`middlebox::Firewall`], [`middlebox::Nat`]) reproduce the
+//!   cellular opaqueness the paper keeps running into.
+//!
+//! # Example: ping across a routed topology
+//!
+//! ```
+//! use netsim::engine::Network;
+//! use netsim::latency::LatencyModel;
+//! use netsim::topo::{Asn, Coord, NodeKind, Topology};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut topo = Topology::new();
+//! let a = topo.add_node("a", NodeKind::Host, Asn(1), Coord::default(),
+//!     vec![Ipv4Addr::new(10, 0, 0, 1)]);
+//! let b = topo.add_node("b", NodeKind::Host, Asn(2), Coord::default(),
+//!     vec![Ipv4Addr::new(10, 0, 0, 2)]);
+//! topo.add_link(a, b, LatencyModel::constant_ms(10));
+//! let mut net = Network::new(topo, 42);
+//! let report = net.ping_train(a, Ipv4Addr::new(10, 0, 0, 2), 3);
+//! assert_eq!(report.rtts.len(), 3);
+//! ```
+
+pub mod addr;
+pub mod client;
+pub mod engine;
+pub mod latency;
+pub mod middlebox;
+pub mod packet;
+pub mod route;
+pub mod tcplite;
+pub mod time;
+pub mod trace;
+pub mod topo;
+
+pub use addr::{AddrAllocator, Prefix};
+pub use client::{
+    HttpLiteServer, HttpReport, PingReport, TcpGetReport, TraceHop, TraceReport, HTTP_PORT,
+};
+pub use engine::{
+    Egress, FlowId, FlowOutcome, FlowResult, NetStats, Network, ServiceCtx, UdpService,
+};
+pub use latency::LatencyModel;
+pub use packet::{IcmpMsg, Packet, Transport};
+pub use tcplite::{TcpFetch, TcpHttpServer};
+pub use trace::{TraceEntry, TraceEvent, Tracer};
+pub use time::{SimDuration, SimTime};
+pub use topo::{Asn, Coord, NodeId, NodeKind, Topology};

@@ -1,0 +1,218 @@
+//! Shortest-path routing over mean link latency.
+//!
+//! The route table stores, for every (source, destination) node pair, the
+//! next hop and the link to traverse. Tables are rebuilt when the topology
+//! changes shape (not when latency models are merely retuned, since routing
+//! weights use the *structural* mean captured at build time).
+
+use crate::topo::{NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Next-hop entry: the neighbor to forward to and the link index used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// Neighbor node.
+    pub node: NodeId,
+    /// Link carrying the packet there.
+    pub link: usize,
+}
+
+/// All-pairs next-hop table.
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    n: usize,
+    /// next[dst * n + src] = hop from src toward dst.
+    next: Vec<Option<NextHop>>,
+    /// dist[dst * n + src] = mean-latency distance in µs (`u64::MAX` when
+    /// unreachable). Used for anycast nearest-instance selection.
+    dist: Vec<u64>,
+}
+
+impl RouteTable {
+    /// Computes routes for the given topology by running Dijkstra from every
+    /// destination over mean link latencies.
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut next = vec![None; n * n];
+        let mut dist_table = vec![u64::MAX; n * n];
+        let weights: Vec<u64> = topo
+            .links()
+            .iter()
+            .map(|l| l.latency.mean_micros().max(1))
+            .collect();
+        let mut dist = vec![u64::MAX; n];
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for dst in 0..n {
+            dist.iter_mut().for_each(|d| *d = u64::MAX);
+            heap.clear();
+            dist[dst] = 0;
+            heap.push(Reverse((0, dst as u32)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                let u_idx = u as usize;
+                if d > dist[u_idx] {
+                    continue;
+                }
+                for &(v, link) in topo.neighbors(NodeId(u)) {
+                    let v_idx = v.index();
+                    let nd = d + weights[link];
+                    if nd < dist[v_idx] {
+                        dist[v_idx] = nd;
+                        // From v, the first hop toward dst is u over `link`.
+                        next[dst * n + v_idx] = Some(NextHop {
+                            node: NodeId(u),
+                            link,
+                        });
+                        heap.push(Reverse((nd, v.0)));
+                    }
+                }
+            }
+            dist_table[dst * n..(dst + 1) * n].copy_from_slice(&dist);
+        }
+        RouteTable {
+            n,
+            next,
+            dist: dist_table,
+        }
+    }
+
+    /// Mean-latency distance in microseconds from `src` to `dst`
+    /// (`u64::MAX` when unreachable, `0` for `src == dst`).
+    pub fn dist(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.dist[dst.index() * self.n + src.index()]
+    }
+
+    /// Next hop from `src` toward `dst`; `None` when unreachable or when
+    /// `src == dst`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NextHop> {
+        if src == dst {
+            return None;
+        }
+        self.next[dst.index() * self.n + src.index()]
+    }
+
+    /// Whether `dst` is reachable from `src`.
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        src == dst || self.next_hop(src, dst).is_some()
+    }
+
+    /// The full node path from `src` to `dst` (inclusive of both), if any.
+    /// Useful for tests and debugging; the engine itself forwards hop by hop.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let hop = self.next_hop(cur, dst)?;
+            cur = hop.node;
+            path.push(cur);
+            if path.len() > self.n {
+                return None; // defensive: malformed table
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::topo::{Asn, Coord, NodeKind};
+    use std::net::Ipv4Addr;
+
+    fn node(t: &mut Topology, i: u8) -> NodeId {
+        t.add_node(
+            format!("n{i}"),
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![Ipv4Addr::new(10, 0, 0, i)],
+        )
+    }
+
+    #[test]
+    fn line_topology_routes_through_middle() {
+        let mut t = Topology::new();
+        let a = node(&mut t, 1);
+        let b = node(&mut t, 2);
+        let c = node(&mut t, 3);
+        t.add_link(a, b, LatencyModel::constant_ms(1));
+        t.add_link(b, c, LatencyModel::constant_ms(1));
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.next_hop(a, c).unwrap().node, b);
+        assert_eq!(rt.next_hop(c, a).unwrap().node, b);
+        assert_eq!(rt.path(a, c).unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn prefers_lower_latency_path() {
+        let mut t = Topology::new();
+        let a = node(&mut t, 1);
+        let b = node(&mut t, 2);
+        let c = node(&mut t, 3);
+        // Direct a-c is slow; a-b-c is fast.
+        t.add_link(a, c, LatencyModel::constant_ms(100));
+        t.add_link(a, b, LatencyModel::constant_ms(1));
+        t.add_link(b, c, LatencyModel::constant_ms(1));
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.next_hop(a, c).unwrap().node, b);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = node(&mut t, 1);
+        let b = node(&mut t, 2);
+        let rt = RouteTable::build(&t);
+        assert!(rt.next_hop(a, b).is_none());
+        assert!(!rt.reachable(a, b));
+        assert!(rt.reachable(a, a));
+        assert!(rt.path(a, b).is_none());
+    }
+
+    #[test]
+    fn self_route_is_none() {
+        let mut t = Topology::new();
+        let a = node(&mut t, 1);
+        let rt = RouteTable::build(&t);
+        assert!(rt.next_hop(a, a).is_none());
+        assert_eq!(rt.path(a, a).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn larger_mesh_is_fully_connected() {
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (1..=20).map(|i| node(&mut t, i)).collect();
+        // Ring plus a few chords.
+        for i in 0..20 {
+            t.add_link(nodes[i], nodes[(i + 1) % 20], LatencyModel::constant_ms(1));
+        }
+        t.add_link(nodes[0], nodes[10], LatencyModel::constant_ms(1));
+        let rt = RouteTable::build(&t);
+        for &s in &nodes {
+            for &d in &nodes {
+                assert!(rt.reachable(s, d));
+            }
+        }
+        // Chord shortens the long way around.
+        let p = rt.path(nodes[0], nodes[10]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn dist_matches_path_cost() {
+        let mut t = Topology::new();
+        let a = node(&mut t, 1);
+        let b = node(&mut t, 2);
+        let c = node(&mut t, 3);
+        t.add_link(a, b, LatencyModel::constant_ms(3));
+        t.add_link(b, c, LatencyModel::constant_ms(4));
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.dist(a, a), 0);
+        assert_eq!(rt.dist(a, b), 3_000);
+        assert_eq!(rt.dist(a, c), 7_000);
+        let d = node(&mut t, 4); // isolated
+        let rt = RouteTable::build(&t);
+        assert_eq!(rt.dist(a, d), u64::MAX);
+    }
+}

@@ -1,0 +1,207 @@
+//! Packet tracing: an optional bounded event log the engine fills as it
+//! forwards, delivers, and drops packets — the simulator's equivalent of a
+//! capture on every interface at once. Off by default; enable it when
+//! debugging a path or writing an example that explains one.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use crate::topo::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened to a packet at a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Forwarded toward the next hop.
+    Forwarded,
+    /// Delivered to a local service or transaction.
+    Delivered,
+    /// Dropped by a firewall.
+    FirewallDrop,
+    /// Dropped for missing NAT state.
+    NatDrop,
+    /// TTL expired.
+    TtlExpired,
+    /// No route/owner for the destination.
+    Unroutable,
+    /// Lost on a lossy link.
+    LinkLoss,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceEvent::Forwarded => "forward",
+            TraceEvent::Delivered => "deliver",
+            TraceEvent::FirewallDrop => "fw-drop",
+            TraceEvent::NatDrop => "nat-drop",
+            TraceEvent::TtlExpired => "ttl-exceeded",
+            TraceEvent::Unroutable => "unroutable",
+            TraceEvent::LinkLoss => "link-loss",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// Node it happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub event: TraceEvent,
+    /// One-line packet summary.
+    pub packet: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} n{} {:<12} {}",
+            self.time,
+            self.node.0,
+            self.event.to_string(),
+            self.packet
+        )
+    }
+}
+
+/// The bounded trace buffer.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A disabled tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Enables tracing with a ring capacity.
+    pub fn enable(&mut self, capacity: usize) {
+        self.enabled = true;
+        self.capacity = capacity.max(1);
+        self.entries.clear();
+    }
+
+    /// Disables tracing and clears the buffer.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.entries.clear();
+    }
+
+    /// Whether tracing is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, node: NodeId, event: TraceEvent, packet: &Packet) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            node,
+            event,
+            packet: packet.summary(),
+        });
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all recorded entries but keeps tracing enabled.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Renders the buffer as text, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn pkt() -> Packet {
+        Packet::echo_request(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 7, 0)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        t.record(SimTime::ZERO, NodeId(1), TraceEvent::Forwarded, &pkt());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_newest() {
+        let mut t = Tracer::new();
+        t.enable(3);
+        for i in 0..5 {
+            t.record(
+                SimTime::from_micros(i),
+                NodeId(i as u32),
+                TraceEvent::Forwarded,
+                &pkt(),
+            );
+        }
+        assert_eq!(t.len(), 3);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.node, NodeId(2));
+    }
+
+    #[test]
+    fn dump_is_line_per_entry() {
+        let mut t = Tracer::new();
+        t.enable(10);
+        t.record(SimTime::ZERO, NodeId(1), TraceEvent::FirewallDrop, &pkt());
+        t.record(SimTime::ZERO, NodeId(2), TraceEvent::Delivered, &pkt());
+        let dump = t.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("fw-drop"));
+        assert!(dump.contains("deliver"));
+        assert!(dump.contains("1.1.1.1"));
+    }
+
+    #[test]
+    fn disable_clears() {
+        let mut t = Tracer::new();
+        t.enable(4);
+        t.record(SimTime::ZERO, NodeId(1), TraceEvent::LinkLoss, &pkt());
+        t.disable();
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for netsim: routing invariants over random
+//! connected graphs, prefix algebra, NAT translation round-trips, and
+//! latency-model bounds.
+
+use netsim::addr::Prefix;
+use netsim::latency::LatencyModel;
+use netsim::middlebox::Nat;
+use netsim::packet::Packet;
+use netsim::route::RouteTable;
+use netsim::time::SimDuration;
+use netsim::topo::{Asn, Coord, NodeId, NodeKind, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+/// A random connected topology: a spanning chain plus random extra edges.
+fn arb_topology() -> impl Strategy<Value = (Topology, usize)> {
+    (2usize..24, proptest::collection::vec((any::<u8>(), any::<u8>(), 1u64..50), 0..30)).prop_map(
+        |(n, extra)| {
+            let mut t = Topology::new();
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    t.add_node(
+                        format!("n{i}"),
+                        NodeKind::Router,
+                        Asn(1),
+                        Coord::default(),
+                        vec![Ipv4Addr::new(10, 0, (i / 250) as u8, (i % 250) as u8 + 1)],
+                    )
+                })
+                .collect();
+            for i in 1..n {
+                t.add_link(nodes[i - 1], nodes[i], LatencyModel::constant_ms(1));
+            }
+            for (a, b, w) in extra {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a != b {
+                    t.add_link(
+                        nodes[a],
+                        nodes[b],
+                        LatencyModel::Constant(SimDuration::from_millis(w)),
+                    );
+                }
+            }
+            (t, n)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn routing_always_terminates_at_destination((topo, n) in arb_topology()) {
+        let rt = RouteTable::build(&topo);
+        for s in 0..n {
+            for d in 0..n {
+                let (src, dst) = (NodeId(s as u32), NodeId(d as u32));
+                prop_assert!(rt.reachable(src, dst), "connected graph must be fully reachable");
+                let path = rt.path(src, dst).expect("path exists");
+                prop_assert_eq!(*path.first().unwrap(), src);
+                prop_assert_eq!(*path.last().unwrap(), dst);
+                prop_assert!(path.len() <= n, "path visits a node twice");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_distance_is_symmetric_and_triangular((topo, n) in arb_topology()) {
+        let rt = RouteTable::build(&topo);
+        for s in 0..n {
+            for d in 0..n {
+                let (a, b) = (NodeId(s as u32), NodeId(d as u32));
+                prop_assert_eq!(rt.dist(a, b), rt.dist(b, a), "symmetric weights");
+                // Triangle inequality through every intermediate node.
+                for m in 0..n {
+                    let mid = NodeId(m as u32);
+                    prop_assert!(
+                        rt.dist(a, b) <= rt.dist(a, mid).saturating_add(rt.dist(mid, b)),
+                        "triangle violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_contains_its_own_addresses(octets in any::<[u8; 4]>(), len in 0u8..=32) {
+        let addr = Ipv4Addr::from(octets);
+        let p = Prefix::new(addr, len);
+        prop_assert!(p.contains(addr));
+        prop_assert!(p.contains(p.network()));
+        // The i-th address is inside for small i.
+        if p.size() > 1 {
+            prop_assert!(p.contains(p.addr(1)));
+        }
+        // A /len prefix of the network address is the same prefix.
+        prop_assert_eq!(Prefix::new(p.network(), len), p);
+    }
+
+    #[test]
+    fn nat_round_trips_arbitrary_udp_flows(
+        inside_host in 1u8..=250,
+        port in 1024u16..60000,
+        dst in any::<[u8; 4]>(),
+    ) {
+        let dst = Ipv4Addr::from(dst);
+        // Keep the destination outside the inside prefix.
+        prop_assume!(dst.octets()[0] != 10);
+        let mut nat = Nat::new(vec!["10.0.0.0/8".parse().unwrap()], Ipv4Addr::new(66, 1, 1, 1));
+        let src = Ipv4Addr::new(10, 3, 9, inside_host);
+        let out = Packet::udp(src, port, dst, 53, vec![1]);
+        let xlated = nat.translate(out).expect("outbound translates");
+        prop_assert_eq!(xlated.src, Ipv4Addr::new(66, 1, 1, 1));
+        let pub_port = match xlated.transport {
+            netsim::packet::Transport::Udp { src_port, .. } => src_port,
+            _ => unreachable!(),
+        };
+        let back = Packet::udp(dst, 53, Ipv4Addr::new(66, 1, 1, 1), pub_port, vec![2]);
+        let restored = nat.translate(back).expect("inbound restores");
+        prop_assert_eq!(restored.dst, src);
+        match restored.transport {
+            netsim::packet::Transport::Udp { dst_port, .. } => prop_assert_eq!(dst_port, port),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn latency_models_never_sample_below_their_floor(
+        mean_ms in 1u64..500,
+        sd_ms in 1u64..200,
+        floor_ms in 0u64..100,
+        seed in any::<u64>(),
+    ) {
+        let model = LatencyModel::Normal {
+            mean: SimDuration::from_millis(mean_ms),
+            std_dev: SimDuration::from_millis(sd_ms),
+            floor: SimDuration::from_millis(floor_ms),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(model.sample(&mut rng) >= SimDuration::from_millis(floor_ms));
+        }
+        let log = LatencyModel::LogNormal {
+            mu: (mean_ms as f64 * 1000.0).max(1.0).ln(),
+            sigma: 0.7,
+            floor: SimDuration::from_millis(floor_ms),
+        };
+        for _ in 0..64 {
+            prop_assert!(log.sample(&mut rng) >= SimDuration::from_millis(floor_ms));
+        }
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        use netsim::time::SimTime;
+        let t = SimTime::from_micros(a);
+        let dur = SimDuration::from_micros(d);
+        let t2 = t + dur;
+        prop_assert_eq!(t2 - t, dur);
+        prop_assert_eq!(t2.since(t), dur);
+        prop_assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+}
+

@@ -1,0 +1,127 @@
+//! End-to-end TCP-lite tests over a simulated network: handshake timing,
+//! segmentation, loss recovery, and failure behaviour.
+
+use netsim::engine::Network;
+use netsim::latency::LatencyModel;
+use netsim::tcplite::{TcpHttpServer, MSS};
+use netsim::time::SimDuration;
+use netsim::topo::{Asn, Coord, NodeId, NodeKind, Topology};
+use netsim::HTTP_PORT;
+use std::net::Ipv4Addr;
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+    Ipv4Addr::new(a, b, c, d)
+}
+
+/// client -- r -- server with 10 ms per link.
+fn network(page_size: usize, loss: f64, seed: u64) -> (Network, NodeId, Ipv4Addr) {
+    let mut t = Topology::new();
+    let client = t.add_node("c", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+    let r = t.add_node("r", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
+    let server = t.add_node("s", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 0, 3)]);
+    let lossy = t.add_link(client, r, LatencyModel::constant_ms(10));
+    t.add_link(r, server, LatencyModel::constant_ms(10));
+    t.set_link_loss(lossy, loss);
+    let mut net = Network::new(t, seed);
+    net.register_service(
+        server,
+        HTTP_PORT,
+        Box::new(TcpHttpServer::new(page_size, SimDuration::from_millis(5))),
+    );
+    (net, client, ip(10, 0, 0, 3))
+}
+
+#[test]
+fn lossless_fetch_completes_with_correct_byte_count() {
+    let page = 64 * 1024;
+    let (mut net, client, server) = network(page, 0.0, 1);
+    let report = net.tcp_get(client, server, "/index.html", SimDuration::from_secs(30));
+    assert!(report.success, "{report:?}");
+    assert_eq!(report.bytes, page);
+    // TTFB = handshake (1 RTT = 40 ms) + request (1 RTT) + 5 ms think.
+    let ttfb = report.ttfb.unwrap().as_millis_f64();
+    assert!((84.0..95.0).contains(&ttfb), "ttfb {ttfb}ms");
+    // Transfer takes longer than TTFB (46 segments in windows of 10).
+    assert!(report.total.unwrap() > report.ttfb.unwrap());
+}
+
+#[test]
+fn small_page_fits_one_segment() {
+    let (mut net, client, server) = network(512, 0.0, 2);
+    let report = net.tcp_get(client, server, "/", SimDuration::from_secs(10));
+    assert!(report.success);
+    assert_eq!(report.bytes, 512);
+    // One segment: total ≈ ttfb + half RTT for the FIN exchange.
+    let gap = report.total.unwrap().as_millis_f64() - report.ttfb.unwrap().as_millis_f64();
+    assert!(gap < 50.0, "gap {gap}ms");
+}
+
+#[test]
+fn transfer_survives_heavy_loss_through_retransmission() {
+    let page = 32 * 1024;
+    let (mut net, client, server) = network(page, 0.15, 3);
+    let report = net.tcp_get(client, server, "/big", SimDuration::from_secs(60));
+    assert!(report.success, "transfer failed under loss: {report:?}");
+    assert_eq!(report.bytes, page);
+    assert!(net.stats.link_losses > 0, "loss never triggered");
+    // Loss makes it slower than the lossless run.
+    let (mut clean, c2, s2) = network(page, 0.0, 3);
+    let clean_report = clean.tcp_get(c2, s2, "/big", SimDuration::from_secs(60));
+    assert!(report.total.unwrap() > clean_report.total.unwrap());
+}
+
+#[test]
+fn fetch_fails_cleanly_when_server_absent() {
+    let (mut net, client, _) = network(1024, 0.0, 4);
+    // Port 80 exists only on the server node; fetch from the router.
+    let report = net.tcp_get(client, ip(10, 0, 0, 2), "/", SimDuration::from_secs(5));
+    assert!(!report.success);
+    assert_eq!(report.bytes, 0);
+}
+
+#[test]
+fn fetch_times_out_on_blackhole() {
+    let (mut net, client, _) = network(1024, 0.0, 5);
+    let report = net.tcp_get(client, ip(203, 0, 113, 1), "/", SimDuration::from_secs(5));
+    assert!(!report.success);
+    assert!(report.ttfb.is_none());
+}
+
+#[test]
+fn sequential_fetches_reuse_the_stack() {
+    let (mut net, client, server) = network(4 * 1024, 0.02, 6);
+    let mut totals = Vec::new();
+    for _ in 0..10 {
+        let report = net.tcp_get(client, server, "/page", SimDuration::from_secs(30));
+        assert!(report.success);
+        assert_eq!(report.bytes, 4 * 1024);
+        totals.push(report.total.unwrap());
+    }
+    assert_eq!(totals.len(), 10);
+}
+
+#[test]
+fn page_size_scales_transfer_time() {
+    let fetch = |page: usize| {
+        let (mut net, client, server) = network(page, 0.0, 7);
+        net.tcp_get(client, server, "/", SimDuration::from_secs(60))
+            .total
+            .unwrap()
+    };
+    let small = fetch(MSS);
+    let large = fetch(MSS * 40);
+    assert!(
+        large > small,
+        "larger page not slower: {small} vs {large}"
+    );
+}
+
+#[test]
+fn deterministic_under_seed() {
+    let run = || {
+        let (mut net, client, server) = network(16 * 1024, 0.1, 99);
+        let r = net.tcp_get(client, server, "/", SimDuration::from_secs(60));
+        (r.success, r.bytes, r.total.map(|t| t.as_micros()))
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,189 @@
+//! `repro` — regenerates every table and figure of *Behind the Curtain*
+//! (IMC 2014) from a seeded simulated campaign.
+//!
+//! Usage:
+//!   repro [all|table1|table2|fig2|fig3|table3|fig4|fig5|fig6|fig7|table4|
+//!          fig8|fig9|fig10|egress|table5|fig11|fig12|fig13|fig14]
+//!         [--scale quick|standard|full] [--seed N] [--out DIR]
+//!         [--ecs] [--era lte|3g]
+//!
+//! Text goes to stdout; CSV series and the raw dataset tables go to the
+//! output directory (default `results/`).
+
+use cdns::measure::{CampaignConfig, ExperimentSpec, WorldConfig};
+use cdns::{figures, Study, StudyConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    targets: Vec<String>,
+    scale: String,
+    seed: u64,
+    out: PathBuf,
+    ecs: bool,
+    three_g: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = Vec::new();
+    let mut scale = "standard".to_string();
+    let mut seed = 2014u64;
+    let mut out = PathBuf::from("results");
+    let mut ecs = false;
+    let mut three_g = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ecs" => ecs = true,
+            "--era" => {
+                let era = it.next().ok_or("--era needs lte|3g")?;
+                three_g = match era.as_str() {
+                    "3g" => true,
+                    "lte" => false,
+                    other => return Err(format!("unknown era '{other}' (lte|3g)")),
+                };
+            }
+            "--scale" => {
+                scale = it.next().ok_or("--scale needs a value")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR]".into());
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Ok(Args {
+        targets,
+        scale,
+        seed,
+        out,
+        ecs,
+        three_g,
+    })
+}
+
+fn config_for(scale: &str, seed: u64) -> Result<StudyConfig, String> {
+    match scale {
+        // Tiny: CI-sized smoke run.
+        "quick" => Ok(StudyConfig::quick(seed)),
+        // Standard: paper-scale world, six-week campaign at 4 h cadence.
+        "standard" => Ok(StudyConfig::standard(seed)),
+        // Full: paper-scale world, five months at 2 h cadence (slow).
+        "full" => Ok(StudyConfig {
+            world: WorldConfig {
+                seed,
+                ..WorldConfig::default()
+            },
+            campaign: CampaignConfig {
+                days: 150,
+                experiments_per_day: 12,
+                spec: ExperimentSpec::default(),
+                external_probe_day: Some(75),
+            },
+        }),
+        other => Err(format!("unknown scale '{other}' (quick|standard|full)")),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut config = match config_for(&args.scale, args.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        }
+    };
+    config.world.ecs = args.ecs;
+    config.world.three_g_era = args.three_g;
+    if args.ecs {
+        eprintln!("repro: ECS (RFC 7871) deployment enabled");
+    }
+    if args.three_g {
+        eprintln!("repro: building the pre-LTE (Xu et al.) era");
+    }
+
+    eprintln!(
+        "repro: building world (scale={}, seed={}) ...",
+        args.scale, args.seed
+    );
+    let t0 = Instant::now();
+    let mut study = Study::new(config);
+    eprintln!(
+        "repro: world ready ({} nodes) in {:.1}s; running campaign ({} days x {}/day x {} devices) ...",
+        study.world.net.topo().node_count(),
+        t0.elapsed().as_secs_f64(),
+        study.campaign.days,
+        study.campaign.experiments_per_day,
+        study.world.devices.len(),
+    );
+    let t1 = Instant::now();
+    let dataset = study.run();
+    eprintln!(
+        "repro: campaign done in {:.1}s — {} experiments, {} resolutions, {} engine events",
+        t1.elapsed().as_secs_f64(),
+        dataset.records.len(),
+        dataset.resolution_count(),
+        study.world.net.stats.events,
+    );
+
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        eprintln!("repro: cannot create {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    // Raw dataset tables.
+    if let Err(e) = dataset.write_csvs(&args.out) {
+        eprintln!("repro: cannot write raw tables: {e}");
+    }
+
+    let run_all = args.targets.iter().any(|t| t == "all");
+    let artifacts = if run_all {
+        figures::all_artifacts(&dataset)
+    } else {
+        let mut v = Vec::new();
+        for t in &args.targets {
+            match figures::artifact_by_id(&dataset, t) {
+                Some(a) => v.push(a),
+                None => {
+                    eprintln!("repro: unknown artifact '{t}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+        v
+    };
+    for a in &artifacts {
+        println!("{}", a.text);
+        if let Some(csv) = &a.csv {
+            let path = args.out.join(format!("{}.csv", a.id));
+            if let Err(e) = fs::write(&path, csv) {
+                eprintln!("repro: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+    eprintln!(
+        "repro: wrote {} artifacts + raw tables to {}",
+        artifacts.len(),
+        args.out.display()
+    );
+}

@@ -1,0 +1,125 @@
+//! Carrier audit: the §4 methodology applied to one carrier from the
+//! inside — discover the indirect resolver structure with whoami probes,
+//! measure resolver distances, and demonstrate the network's opaqueness to
+//! outside probing.
+//!
+//! Run with: `cargo run --release --example carrier_audit [carrier-name]`
+
+use behind_the_curtain::dnssim::client::whoami;
+use behind_the_curtain::measure::{build_world, WorldConfig};
+use behind_the_curtain::netsim::addr::Prefix;
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let carrier_name = std::env::args().nth(1).unwrap_or_else(|| "AT&T".into());
+    let mut world = build_world(WorldConfig::quick(7));
+    let Some(carrier_idx) = world.carrier_index(&carrier_name) else {
+        eprintln!(
+            "unknown carrier '{carrier_name}'; try: {}",
+            world
+                .carriers
+                .iter()
+                .map(|c| c.profile.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    println!("== Auditing {carrier_name} from inside the network ==\n");
+
+    // 1. whoami probes from every device of this carrier reveal the
+    //    external-facing resolvers behind the configured address.
+    let device_idxs = world.devices_of(carrier_idx);
+    let probe_zone = world.probe_zone.clone();
+    let mut pairs: HashMap<(std::net::Ipv4Addr, std::net::Ipv4Addr), usize> = HashMap::new();
+    for &di in &device_idxs {
+        let (node, configured) = {
+            let d = &world.devices[di];
+            (d.node, d.configured_dns)
+        };
+        for _ in 0..6 {
+            let (_, ext) = whoami(&mut world.net, node, configured, &probe_zone);
+            if let Some(ext) = ext {
+                *pairs.entry((configured, ext)).or_insert(0) += 1;
+            }
+        }
+    }
+    println!("LDNS pairs observed (configured -> external x count):");
+    let mut sorted: Vec<_> = pairs.iter().collect();
+    sorted.sort();
+    for ((cf, ext), n) in sorted {
+        println!("  {cf:<16} -> {ext:<16} x{n}");
+    }
+    let externals: HashSet<_> = pairs.keys().map(|(_, e)| *e).collect();
+    let prefixes: HashSet<_> = externals.iter().map(|e| Prefix::slash24_of(*e)).collect();
+    println!(
+        "\n{} external resolvers across {} /24 prefixes (indirect resolution: the\nconfigured resolver is never the one the authoritative side sees)\n",
+        externals.len(),
+        prefixes.len()
+    );
+
+    // 2. Resolver distance from the device (Fig. 4's measurement).
+    let &di = device_idxs.first().expect("carrier has devices");
+    let (node, configured) = {
+        let d = &world.devices[di];
+        (d.node, d.configured_dns)
+    };
+    let cf_ping = world.net.ping_train(node, configured, 3);
+    println!(
+        "ping configured resolver {}: {}",
+        configured,
+        cf_ping
+            .min_rtt()
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "no answer".into())
+    );
+    if let Some(&ext) = externals.iter().next() {
+        let ext_ping = world.net.ping_train(node, ext, 3);
+        println!(
+            "ping external resolver   {}: {}",
+            ext,
+            ext_ping
+                .min_rtt()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "no answer (some tiers ignore internal probes)".into())
+        );
+    }
+
+    // 3. Opaqueness: the same resolvers probed from a university vantage
+    //    point outside the carrier (Table 4's experiment).
+    println!("\nFrom the university vantage point (outside the carrier):");
+    let university = world.university;
+    let mut ping_ok = 0;
+    let mut trace_ok = 0;
+    let ext_list: Vec<_> = world.carriers[carrier_idx]
+        .external_resolvers
+        .iter()
+        .map(|&(_, a)| a)
+        .collect();
+    for &addr in &ext_list {
+        if world.net.ping_train(university, addr, 2).reachable() {
+            ping_ok += 1;
+        }
+        if world.net.traceroute(university, addr, 16).reached {
+            trace_ok += 1;
+        }
+    }
+    println!(
+        "  ping reached {ping_ok}/{} external resolvers; traceroute reached {trace_ok}/{}",
+        ext_list.len(),
+        ext_list.len()
+    );
+    println!("  (cellular firewalls drop unsolicited probes — the paper's §4.4)");
+
+    // 4. Show one blocked probe's journey with the packet tracer.
+    if let Some(&target) = ext_list.first() {
+        println!("
+Packet trace of one university ping into the carrier:");
+        world.net.tracer.enable(32);
+        let _ = world.net.ping_train(university, target, 1);
+        for entry in world.net.tracer.entries() {
+            println!("  {entry}");
+        }
+        world.net.tracer.disable();
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a (reduced) simulated world, run a short measurement
+//! campaign, and print the headline findings of the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use behind_the_curtain::measure::ResolverKind;
+use behind_the_curtain::{figures, Study, StudyConfig};
+
+fn main() {
+    // A reduced world: same six carriers and structure, smaller fleet.
+    let mut study = Study::new(StudyConfig::quick(2014));
+    println!(
+        "world: {} nodes, {} devices across {} carriers",
+        study.world.net.topo().node_count(),
+        study.world.devices.len(),
+        study.world.carriers.len(),
+    );
+
+    let dataset = study.run();
+    println!(
+        "campaign: {} experiments, {} DNS resolutions\n",
+        dataset.records.len(),
+        dataset.resolution_count(),
+    );
+
+    // The two headline tables.
+    println!("{}", figures::table3(&dataset).text);
+    println!("{}", figures::table4(&dataset).text);
+
+    // The abstract's headline number: how often public DNS's replicas were
+    // equal or better than the carrier's own choice.
+    println!("Public DNS replica quality vs carrier DNS (abstract's claim):");
+    for c in 0..dataset.carrier_names.len() {
+        let frac = behind_the_curtain::analysis::public_equal_or_better(
+            &dataset,
+            c,
+            ResolverKind::Google,
+        );
+        println!(
+            "  {:<12} google replicas equal-or-better {:.0}% of the time",
+            dataset.carrier_names[c],
+            frac * 100.0
+        );
+    }
+}

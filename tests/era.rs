@@ -1,0 +1,67 @@
+//! Integration test for the 3G-era mode: the §2 historical baseline of
+//! Xu et al., rebuilt and compared against the LTE world.
+
+use behind_the_curtain::analysis::{egress_points, resolution_cdf, Cdf};
+use behind_the_curtain::cellsim::RadioTech;
+use behind_the_curtain::measure::{
+    build_world, run_campaign, CampaignConfig, Dataset, ExperimentSpec, ResolverKind,
+    WorldConfig,
+};
+
+fn campaign(three_g: bool) -> Dataset {
+    let mut config = WorldConfig::quick(1111);
+    config.three_g_era = three_g;
+    config.gateway_scale = 1.0; // era comparison needs real gateway counts
+    let mut world = build_world(config);
+    run_campaign(
+        &mut world,
+        &CampaignConfig {
+            days: 3,
+            experiments_per_day: 2,
+            spec: ExperimentSpec::light(),
+            external_probe_day: None,
+        },
+    )
+}
+
+#[test]
+fn three_g_era_has_few_egress_points_and_no_lte() {
+    let g3 = campaign(true);
+    for c in 0..6 {
+        let egress = egress_points(&g3, c).len();
+        assert!(
+            egress <= 6,
+            "{}: {egress} egress points in the 3G era (Xu et al. saw 4-6)",
+            g3.carrier_names[c]
+        );
+    }
+    assert!(
+        !g3.records.iter().any(|r| r.radio == RadioTech::Lte),
+        "LTE radio observed in the 3G era"
+    );
+}
+
+#[test]
+fn lte_era_multiplies_egress_and_halves_resolution_time() {
+    let g3 = campaign(true);
+    let lte = campaign(false);
+    let total = |ds: &Dataset| -> usize { (0..6).map(|c| egress_points(ds, c).len()).sum() };
+    let (e3, e4) = (total(&g3), total(&lte));
+    assert!(
+        e4 >= e3 * 2,
+        "LTE egress {e4} not a multiple of 3G egress {e3}"
+    );
+    // Pooled local resolution medians: 3G is radio-dominated and slower.
+    let pooled = |ds: &Dataset| {
+        let mut cdf = Cdf::default();
+        for c in 0..6 {
+            cdf = cdf.merge(&resolution_cdf(ds, c, ResolverKind::Local));
+        }
+        cdf.median().unwrap()
+    };
+    let (m3, m4) = (pooled(&g3), pooled(&lte));
+    assert!(
+        m3 > m4 * 1.4,
+        "3G median {m3:.0}ms not clearly slower than LTE {m4:.0}ms"
+    );
+}

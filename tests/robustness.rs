@@ -1,0 +1,81 @@
+//! Seed-robustness: the paper's findings must hold in *every* simulated
+//! universe, not just the default seed. Runs two quick campaigns on
+//! different seeds and checks that the headline shapes agree.
+
+use behind_the_curtain::analysis::{
+    cache_miss_fraction, public_equal_or_better, reachability, resolution_cdf,
+};
+use behind_the_curtain::figures::us_carriers;
+use behind_the_curtain::measure::{Dataset, ResolverKind};
+use behind_the_curtain::{Study, StudyConfig};
+
+fn campaign(seed: u64) -> Dataset {
+    let mut study = Study::new(StudyConfig::quick(seed));
+    study.run()
+}
+
+#[test]
+fn headline_findings_hold_across_seeds() {
+    for seed in [101u64, 20141105] {
+        let ds = campaign(seed);
+        // Opaqueness: traceroute reaches nothing in any universe.
+        assert!(
+            reachability(&ds).iter().all(|r| r.traceroute == 0),
+            "seed {seed}: traceroute penetrated a carrier"
+        );
+        // Indirection: externals never equal configured addresses.
+        for r in &ds.records {
+            if let Some(ext) = r.local_external() {
+                assert_ne!(ext, r.configured_dns, "seed {seed}");
+            }
+        }
+        // Public replicas equal-or-better a majority of the time.
+        for c in 0..6 {
+            let frac = public_equal_or_better(&ds, c, ResolverKind::Google);
+            assert!(
+                frac > 0.55,
+                "seed {seed} carrier {c}: equal-or-better only {:.0}%",
+                frac * 100.0
+            );
+        }
+        // Cache misses in a plausible band.
+        let miss = cache_miss_fraction(&ds, &us_carriers(&ds), 20.0);
+        assert!(
+            (0.03..=0.55).contains(&miss),
+            "seed {seed}: miss fraction {miss:.2}"
+        );
+    }
+}
+
+#[test]
+fn resolution_distributions_are_stable_across_seeds() {
+    // Per-carrier curves are dominated by device placement at quick scale
+    // (Sprint has a single device), so compare the pooled US population.
+    let a = campaign(333);
+    let b = campaign(777);
+    let pooled = |ds: &Dataset| {
+        let mut cdf = behind_the_curtain::analysis::Cdf::default();
+        for &c in &us_carriers(ds) {
+            cdf = cdf.merge(&resolution_cdf(ds, c, ResolverKind::Local));
+        }
+        cdf
+    };
+    let d = pooled(&a).ks_statistic(&pooled(&b));
+    assert!(
+        d < 0.35,
+        "KS distance {d:.2} between seeds — mechanism unstable"
+    );
+}
+
+#[test]
+fn different_seeds_are_actually_different_universes() {
+    let a = campaign(333);
+    let b = campaign(777);
+    let timings = |ds: &Dataset| {
+        ds.records
+            .iter()
+            .flat_map(|r| r.lookups.iter().map(|l| l.elapsed_us))
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(timings(&a), timings(&b), "seeds produced identical runs");
+}
