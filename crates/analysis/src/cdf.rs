@@ -8,10 +8,13 @@ pub struct Cdf {
 }
 
 impl Cdf {
-    /// Builds a CDF from samples (non-finite values are dropped).
+    /// Builds a CDF from samples (non-finite values are dropped). Total:
+    /// never panics, whatever the input — NaN/±inf are filtered and the
+    /// sort is `total_cmp`, so a non-finite value slipping past the filter
+    /// could only misorder, never abort.
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite after retain"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 
@@ -121,7 +124,13 @@ impl Cdf {
                 self.sorted[idxs[n / 2]]
             })
             .collect();
-        medians.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        // Samples are finite by construction, but keep this path total too:
+        // filter again at this ingest point and sort with `total_cmp`.
+        medians.retain(|x| x.is_finite());
+        if medians.is_empty() {
+            return None;
+        }
+        medians.sort_by(f64::total_cmp);
         let lo = medians[(medians.len() as f64 * 0.025) as usize];
         let hi = medians[((medians.len() as f64 * 0.975) as usize).min(medians.len() - 1)];
         Some((lo, hi))
@@ -204,6 +213,34 @@ mod tests {
         assert!(empty.median().is_none());
         assert!(empty.series(5).is_empty());
         assert_eq!(empty.fraction_leq(1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_heavy_input_never_panics() {
+        // Regression: every ingest point must be total. Before, a NaN that
+        // reached a comparator aborted via `partial_cmp(..).expect(..)`.
+        let dirty = vec![
+            f64::NAN,
+            3.0,
+            f64::NEG_INFINITY,
+            1.0,
+            f64::NAN,
+            f64::INFINITY,
+            2.0,
+            -0.0,
+        ];
+        let c = Cdf::new(dirty.clone());
+        assert_eq!(c.samples(), &[-0.0, 1.0, 2.0, 3.0]);
+        // Nearest-rank median of 4 samples: index (3 * 0.5).round() = 2.
+        assert_eq!(c.median(), Some(2.0));
+        // Merge and from_iter funnel through the same filter.
+        let m = c.merge(&Cdf::from_iter(dirty));
+        assert_eq!(m.len(), 8);
+        // Bootstrap path stays total as well.
+        let (lo, hi) = m.median_ci(3, 100).unwrap();
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        // Queries at NaN do not panic either (partition_point on finite data).
+        assert_eq!(Cdf::new(vec![f64::NAN]).len(), 0);
     }
 
     #[test]

@@ -77,11 +77,7 @@ pub struct EnumPoint {
 
 /// Enumerates the external resolvers one device observed over time through
 /// the given resolver path.
-pub fn resolver_enumeration(
-    ds: &Dataset,
-    device_id: u32,
-    kind: ResolverKind,
-) -> Vec<EnumPoint> {
+pub fn resolver_enumeration(ds: &Dataset, device_id: u32, kind: ResolverKind) -> Vec<EnumPoint> {
     let mut ip_order: Vec<Ipv4Addr> = Vec::new();
     let mut prefix_order: Vec<Prefix> = Vec::new();
     let mut points = Vec::new();
@@ -90,7 +86,9 @@ pub fn resolver_enumeration(
             if id.resolver != kind {
                 continue;
             }
-            let Some(ext) = id.external_addr else { continue };
+            let Some(ext) = id.external_addr else {
+                continue;
+            };
             let ip_index = match ip_order.iter().position(|&a| a == ext) {
                 Some(i) => i + 1,
                 None => {
@@ -127,11 +125,7 @@ pub fn churn_summary(points: &[EnumPoint]) -> (usize, usize) {
 
 /// Fig. 9: enumeration restricted to records within `radius_km` of the
 /// device's dominant location (the paper uses a 1 km-radius cluster).
-pub fn static_location_enumeration(
-    ds: &Dataset,
-    device_id: u32,
-    radius_km: f64,
-) -> Vec<EnumPoint> {
+pub fn static_location_enumeration(ds: &Dataset, device_id: u32, radius_km: f64) -> Vec<EnumPoint> {
     let recs: Vec<_> = ds
         .records
         .iter()
@@ -152,7 +146,9 @@ pub fn static_location_enumeration(
         if (dx * dx + dy * dy).sqrt() > radius_km {
             continue;
         }
-        let Some(ext) = r.local_external() else { continue };
+        let Some(ext) = r.local_external() else {
+            continue;
+        };
         let ip_index = match ip_order.iter().position(|&a| a == ext) {
             Some(i) => i + 1,
             None => {

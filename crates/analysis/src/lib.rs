@@ -23,10 +23,10 @@ pub use ldns::{
     resolver_enumeration, static_location_enumeration, EnumPoint, LdnsPairSummary,
 };
 pub use reach::{reachability, ReachSummary};
-pub use report::{all_carrier_reports, carrier_report};
 pub use replica::{
     cosine_by_prefix, public_equal_or_better, relative_replica_latency, replica_percent_increase,
     resolver_replica_maps, ReplicaMap,
 };
+pub use report::{all_carrier_reports, carrier_report};
 pub use table::{cdfs_csv, render_ascii_cdf, render_cdfs, render_table};
 pub use timing::{cache_comparison, cache_miss_fraction, resolution_by_radio, resolution_cdf};

@@ -128,10 +128,11 @@ pub fn resolver_replica_maps(
 ) -> HashMap<Ipv4Addr, ReplicaMap> {
     let mut maps: HashMap<Ipv4Addr, ReplicaMap> = HashMap::new();
     for r in ds.of_carrier(carrier) {
-        let Some(ext) = r.local_external() else { continue };
+        let Some(ext) = r.local_external() else {
+            continue;
+        };
         for l in &r.lookups {
-            if l.resolver == ResolverKind::Local && l.attempt == 1 && l.domain_idx == domain_idx
-            {
+            if l.resolver == ResolverKind::Local && l.attempt == 1 && l.domain_idx == domain_idx {
                 let map = maps.entry(ext).or_default();
                 for &a in &l.addrs {
                     map.observe(a);
@@ -193,8 +194,7 @@ pub fn relative_replica_latency(ds: &Dataset, carrier: usize, public: ResolverKi
                     .filter_map(|p| by_prefix.get(&Prefix::slash24_of(p.addr)).copied())
                     .min()
             };
-            if let (Some(local), Some(pub_lat)) =
-                (best_for(ResolverKind::Local), best_for(public))
+            if let (Some(local), Some(pub_lat)) = (best_for(ResolverKind::Local), best_for(public))
             {
                 if local > 0 {
                     samples.push((pub_lat as f64 - local as f64) / local as f64 * 100.0);

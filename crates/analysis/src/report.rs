@@ -24,7 +24,11 @@ pub fn carrier_report(ds: &Dataset, carrier: usize) -> String {
     let devices: std::collections::HashSet<u32> =
         ds.of_carrier(carrier).map(|r| r.device_id).collect();
     let experiments = ds.of_carrier(carrier).count();
-    let _ = writeln!(out, "fleet: {} devices, {experiments} experiments", devices.len());
+    let _ = writeln!(
+        out,
+        "fleet: {} devices, {experiments} experiments",
+        devices.len()
+    );
 
     // DNS infrastructure (Table 3 row).
     let pairs = ldns_pairs(ds, carrier);
@@ -91,7 +95,11 @@ pub fn carrier_report(ds: &Dataset, carrier: usize) -> String {
     }
 
     // Egress points (§5.2).
-    let _ = writeln!(out, "egress points observed: {}", egress_points(ds, carrier).len());
+    let _ = writeln!(
+        out,
+        "egress points observed: {}",
+        egress_points(ds, carrier).len()
+    );
 
     // Replica damage (Fig 2 pooled) and public comparison (Fig 14).
     let mut inflation = Cdf::default();

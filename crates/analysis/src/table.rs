@@ -66,7 +66,12 @@ pub fn render_cdfs(title: &str, series: &[(&str, &Cdf)], unit: &str) -> String {
 /// Renders labeled CDFs as an ASCII plot (x = value up to the pooled p99,
 /// y = cumulative fraction), one glyph per series. Used by the repro
 /// harness for the single-panel figures.
-pub fn render_ascii_cdf(series: &[(&str, &Cdf)], unit: &str, width: usize, height: usize) -> String {
+pub fn render_ascii_cdf(
+    series: &[(&str, &Cdf)],
+    unit: &str,
+    width: usize,
+    height: usize,
+) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let width = width.clamp(20, 160);
     let height = height.clamp(5, 40);

@@ -48,9 +48,7 @@ pub fn cache_comparison(ds: &Dataset, carriers: &[usize]) -> (Cdf, Cdf) {
                 .flat_map(move |r| {
                     r.lookups
                         .iter()
-                        .filter(move |l| {
-                            l.resolver == ResolverKind::Local && l.attempt == attempt
-                        })
+                        .filter(move |l| l.resolver == ResolverKind::Local && l.attempt == attempt)
                         .filter_map(|l| ms(l.elapsed_us))
                 }),
         )

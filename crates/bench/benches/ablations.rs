@@ -11,10 +11,8 @@
 //!   replica inflation of Fig. 2.
 
 use cdns::analysis::{cache_miss_fraction, replica_percent_increase};
-use cdns::measure::{
-    run_campaign, CampaignConfig, ExperimentSpec, WorldConfig,
-};
 use cdns::measure::{build_world, Dataset};
+use cdns::measure::{run_campaign, CampaignConfig, ExperimentSpec, WorldConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -59,11 +57,7 @@ fn ablate_churn(c: &mut Criterion) {
     // we approximate by comparing the first day (little churn yet) against
     // the full run, using Fig. 2's median inflation as the metric.
     let ds = mini_campaign(true, 21);
-    let p50 = |ds: &Dataset| {
-        replica_percent_increase(ds, 0, 1)
-            .median()
-            .unwrap_or(0.0)
-    };
+    let p50 = |ds: &Dataset| replica_percent_increase(ds, 0, 1).median().unwrap_or(0.0);
     println!(
         "[ablation] resolver churn: AT&T buzzfeed median replica inflation {:.0}% over 2 days",
         p50(&ds)

@@ -1,0 +1,46 @@
+//! `campaign_parallel` — wall-clock scaling of the sharded campaign driver
+//! at 1, 2, and 6 threads on the same six-carrier world. Results are
+//! byte-identical across the group (see `tests/determinism.rs`); only the
+//! elapsed time should move.
+
+use cdns::measure::{
+    build_world, run_campaign_with, CampaignConfig, ExperimentSpec, Parallelism, WorldConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        days: 2,
+        experiments_per_day: 3,
+        spec: ExperimentSpec::light(),
+        external_probe_day: None,
+    }
+}
+
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_parallel");
+    group.sample_size(10);
+    let cfg = campaign_config();
+    for threads in [1usize, 2, 6] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            // A fresh world per iteration (untimed setup) keeps engine
+            // clocks at zero so every thread count runs the identical
+            // workload; only the campaign itself is timed.
+            b.iter_with_setup(
+                || build_world(WorldConfig::quick(20141105)),
+                |mut world| {
+                    black_box(run_campaign_with(
+                        &mut world,
+                        &cfg,
+                        Parallelism::Threads(threads),
+                    ))
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_parallel);
+criterion_main!(benches);

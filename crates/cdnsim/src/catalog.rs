@@ -53,10 +53,15 @@ pub fn mobile_domains() -> Vec<CatalogEntry> {
 /// The four domains Fig. 2 plots (one per provider, including the two
 /// names recoverable from the paper text).
 pub fn fig2_domains() -> Vec<DnsName> {
-    ["www.buzzfeed.com", "m.yelp.com", "www.google.com", "en.m.wikipedia.org"]
-        .iter()
-        .map(|d| DnsName::parse(d).expect("valid domain"))
-        .collect()
+    [
+        "www.buzzfeed.com",
+        "m.yelp.com",
+        "www.google.com",
+        "en.m.wikipedia.org",
+    ]
+    .iter()
+    .map(|d| DnsName::parse(d).expect("valid domain"))
+    .collect()
 }
 
 #[cfg(test)]

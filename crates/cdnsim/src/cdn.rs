@@ -218,7 +218,13 @@ mod tests {
     #[test]
     fn same_slash24_same_set_different_slash24_usually_differs() {
         let mut cdn = grid_cdn();
-        cdn.add_coarse_centroid(100, Coord { x_km: 2000.0, y_km: 1200.0 });
+        cdn.add_coarse_centroid(
+            100,
+            Coord {
+                x_km: 2000.0,
+                y_km: 1200.0,
+            },
+        );
         let a1 = cdn.select(ip(100, 110, 0, 1));
         let a2 = cdn.select(ip(100, 110, 0, 200));
         assert_eq!(a1, a2, "same /24 -> identical replica set");

@@ -75,7 +75,10 @@ mod tests {
                 },
                 Replica {
                     addr: Ipv4Addr::new(90, 0, 1, 1),
-                    coord: Coord { x_km: 100.0, y_km: 0.0 },
+                    coord: Coord {
+                        x_km: 100.0,
+                        y_km: 0.0,
+                    },
                 },
             ],
         ));

@@ -41,9 +41,7 @@ impl MappingZone {
         let mut h = DefaultHasher::new();
         qname.hash(&mut h);
         let label = format!("e{:08x}", h.finish() as u32);
-        self.edge_suffix
-            .child(&label)
-            .expect("edge label is valid")
+        self.edge_suffix.child(&label).expect("edge label is valid")
     }
 }
 
@@ -134,7 +132,12 @@ mod tests {
     #[test]
     fn serves_cname_plus_a_records() {
         let mut z = zone();
-        let out = answer(&mut z, "www.buzzfeed.com", RecordType::A, ip(100, 110, 0, 1));
+        let out = answer(
+            &mut z,
+            "www.buzzfeed.com",
+            RecordType::A,
+            ip(100, 110, 0, 1),
+        );
         assert_eq!(out.rcode, Rcode::NoError);
         assert!(matches!(out.answers[0].rdata, RData::Cname(_)));
         let a_count = out
@@ -143,7 +146,7 @@ mod tests {
             .filter(|rr| rr.record_type() == RecordType::A)
             .count();
         assert_eq!(a_count, 2); // top_k default
-        // CNAME long TTL, A records short TTL (Fig. 7's mechanism).
+                                // CNAME long TTL, A records short TTL (Fig. 7's mechanism).
         assert_eq!(out.answers[0].ttl, 300);
         assert_eq!(out.answers[1].ttl, 30);
     }
@@ -161,15 +164,30 @@ mod tests {
     #[test]
     fn selection_depends_on_resolver_prefix() {
         let mut z = zone();
-        let a = answer(&mut z, "www.buzzfeed.com", RecordType::A, ip(100, 110, 0, 1));
-        let b = answer(&mut z, "www.buzzfeed.com", RecordType::A, ip(100, 110, 0, 2));
+        let a = answer(
+            &mut z,
+            "www.buzzfeed.com",
+            RecordType::A,
+            ip(100, 110, 0, 1),
+        );
+        let b = answer(
+            &mut z,
+            "www.buzzfeed.com",
+            RecordType::A,
+            ip(100, 110, 0, 2),
+        );
         assert_eq!(a.answers, b.answers, "same /24 -> same mapping");
     }
 
     #[test]
     fn cname_query_returns_only_cname() {
         let mut z = zone();
-        let out = answer(&mut z, "www.buzzfeed.com", RecordType::Cname, ip(1, 1, 1, 1));
+        let out = answer(
+            &mut z,
+            "www.buzzfeed.com",
+            RecordType::Cname,
+            ip(1, 1, 1, 1),
+        );
         assert_eq!(out.answers.len(), 1);
         assert!(matches!(out.answers[0].rdata, RData::Cname(_)));
     }

@@ -187,10 +187,7 @@ impl CarrierNet {
             let base = alloc.prefix().network().octets();
             let egress = self.sites[s].egress_addr;
             for half in 0..2u8 {
-                let client24 = Prefix::new(
-                    Ipv4Addr::new(base[0], base[1], base[2] + half, 0),
-                    24,
-                );
+                let client24 = Prefix::new(Ipv4Addr::new(base[0], base[1], base[2] + half, 0), 24);
                 map.insert(client24, egress);
             }
         }
@@ -314,12 +311,7 @@ pub fn build_carrier(
     let s24s = profile.dns.external_slash24s.max(1);
     let mut external_resolvers = Vec::with_capacity(profile.dns.external_count);
     for j in 0..profile.dns.external_count {
-        let addr = Ipv4Addr::new(
-            pub8,
-            (110 + (j % s24s)) as u8,
-            0,
-            (1 + j / s24s) as u8,
-        );
+        let addr = Ipv4Addr::new(pub8, (110 + (j % s24s)) as u8, 0, (1 + j / s24s) as u8);
         let coord = if profile.dns.colocated_external {
             center
         } else {
@@ -441,7 +433,11 @@ pub fn install_carrier_services(
     ambient_period: Option<SimDuration>,
     ecs: bool,
 ) {
-    let ecs_map = if ecs { carrier.ecs_map() } else { Default::default() };
+    let ecs_map = if ecs {
+        carrier.ecs_map()
+    } else {
+        Default::default()
+    };
     let protected = carrier.protected_prefixes();
     // Middleboxes and ping allowlists on every egress gateway.
     let reachable: Vec<Ipv4Addr> = carrier
@@ -487,14 +483,11 @@ pub fn install_carrier_services(
 
     let policy = match carrier.profile.dns.policy {
         PolicyConfig::Sticky => UpstreamPolicy::Sticky,
-        PolicyConfig::Lease { lease, stick_prob } => UpstreamPolicy::PerClientLease {
-            lease,
-            stick_prob,
-        },
-        PolicyConfig::LoadBalance => UpstreamPolicy::LoadBalance,
-        PolicyConfig::PrimarySpill { spill_prob } => {
-            UpstreamPolicy::PrimarySpill { spill_prob }
+        PolicyConfig::Lease { lease, stick_prob } => {
+            UpstreamPolicy::PerClientLease { lease, stick_prob }
         }
+        PolicyConfig::LoadBalance => UpstreamPolicy::LoadBalance,
+        PolicyConfig::PrimarySpill { spill_prob } => UpstreamPolicy::PrimarySpill { spill_prob },
     };
 
     // Client-facing resolvers cache answers; their ambient phase differs
@@ -538,8 +531,8 @@ pub fn install_carrier_services(
                 let upstreams = match carrier.profile.dns.policy {
                     // Tiered-sticky carriers pin forwarder i to external i.
                     PolicyConfig::Sticky => {
-                        let (_, ext) = carrier.external_resolvers
-                            [i % carrier.external_resolvers.len()];
+                        let (_, ext) =
+                            carrier.external_resolvers[i % carrier.external_resolvers.len()];
                         vec![ext]
                     }
                     // Pool carriers share the whole pool, rotated so each
@@ -606,10 +599,7 @@ mod tests {
             };
             let c = build_carrier(&mut topo, i, p, region, &pops, &mut rng);
             assert_eq!(c.sites.len(), c.profile.gateway_count);
-            assert_eq!(
-                c.external_resolvers.len(),
-                c.profile.dns.external_count
-            );
+            assert_eq!(c.external_resolvers.len(), c.profile.dns.external_count);
             assert!(!c.client_facing_addrs.is_empty());
         }
         // > 400 nodes built with unique addresses (add_node would panic on

@@ -264,7 +264,10 @@ mod tests {
             "pop",
             NodeKind::Router,
             Asn(3356),
-            Coord { x_km: 2000.0, y_km: 1200.0 },
+            Coord {
+                x_km: 2000.0,
+                y_km: 1200.0,
+            },
             vec![Ipv4Addr::new(80, 0, 0, 1)],
         );
         let mut rng = StdRng::seed_from_u64(11);
@@ -274,7 +277,13 @@ mod tests {
             0,
             profile,
             GeoRegion::us(),
-            &[(pop, Coord { x_km: 2000.0, y_km: 1200.0 })],
+            &[(
+                pop,
+                Coord {
+                    x_km: 2000.0,
+                    y_km: 1200.0,
+                },
+            )],
             &mut rng,
         );
         let devices = create_devices(&mut topo, &mut carrier, 0, &mut rng);

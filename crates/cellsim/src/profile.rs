@@ -346,10 +346,7 @@ mod tests {
         assert_eq!(total, 158, "Table 1: 158 clients in the six carriers");
         assert_eq!(carriers.len(), 6);
         assert_eq!(
-            carriers
-                .iter()
-                .filter(|c| c.country == Country::Us)
-                .count(),
+            carriers.iter().filter(|c| c.country == Country::Us).count(),
             4
         );
     }
@@ -402,7 +399,11 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-9, "{} mix sums to {sum}", c.name);
             let three_g = c.clone().as_three_g();
             let sum: f64 = three_g.tech_mix().iter().map(|(_, p)| p).sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{} 3G mix sums to {sum}", three_g.name);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{} 3G mix sums to {sum}",
+                three_g.name
+            );
         }
     }
 
@@ -439,10 +440,7 @@ mod tests {
         let carriers = six_carriers();
         let reach = |name: &str| {
             let c = carriers.iter().find(|c| c.name == name).unwrap();
-            (
-                c.dns.external_ping_reachable,
-                c.dns.external_count,
-            )
+            (c.dns.external_ping_reachable, c.dns.external_count)
         };
         let (vz, vz_total) = reach("Verizon");
         assert!(vz * 2 > vz_total, "Verizon majority reachable");

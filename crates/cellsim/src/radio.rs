@@ -217,7 +217,9 @@ mod tests {
     fn median_ms(tech: RadioTech) -> f64 {
         let model = tech.latency_model();
         let mut rng = StdRng::seed_from_u64(7);
-        let mut samples: Vec<u64> = (0..2001).map(|_| model.sample(&mut rng).as_micros()).collect();
+        let mut samples: Vec<u64> = (0..2001)
+            .map(|_| model.sample(&mut rng).as_micros())
+            .collect();
         samples.sort_unstable();
         samples[1000] as f64 / 1000.0
     }

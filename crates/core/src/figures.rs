@@ -79,11 +79,7 @@ pub fn table1(ds: &Dataset) -> Artifact {
 
 /// Table 2: the measured mobile domains.
 pub fn table2(ds: &Dataset) -> Artifact {
-    let rows: Vec<Vec<String>> = ds
-        .domains
-        .iter()
-        .map(|d| vec![d.to_string()])
-        .collect();
+    let rows: Vec<Vec<String>> = ds.domains.iter().map(|d| vec![d.to_string()]).collect();
     Artifact {
         id: "table2".into(),
         text: render_table("Table 2: measured mobile domains", &["Domain"], &rows),
@@ -106,10 +102,7 @@ pub fn fig2(ds: &Dataset) -> Artifact {
             let cdf = replica_percent_increase(ds, c, d as u8);
             series.push((ds.domains[d].to_string(), cdf));
         }
-        let refs: Vec<(&str, &Cdf)> = series
-            .iter()
-            .map(|(n, c)| (n.as_str(), c))
-            .collect();
+        let refs: Vec<(&str, &Cdf)> = series.iter().map(|(n, c)| (n.as_str(), c)).collect();
         let _ = write!(
             text,
             "{}",
@@ -300,10 +293,7 @@ pub fn fig7(ds: &Dataset) -> Artifact {
     Artifact {
         id: "fig7".into(),
         text,
-        csv: Some(cdfs_csv(
-            &[("first", &first), ("second", &second)],
-            50,
-        )),
+        csv: Some(cdfs_csv(&[("first", &first), ("second", &second)], 50)),
     }
 }
 
@@ -510,7 +500,10 @@ pub fn fig11(ds: &Dataset) -> Artifact {
             text,
             "{}",
             render_cdfs(
-                &format!("Fig 11 ({}): ping latency to resolvers", ds.carrier_names[c]),
+                &format!(
+                    "Fig 11 ({}): ping latency to resolvers",
+                    ds.carrier_names[c]
+                ),
                 &[
                     ("cell external", &external),
                     ("google", &google),
@@ -558,7 +551,11 @@ pub fn fig13(ds: &Dataset) -> Artifact {
                     "Fig 13 ({}): resolution time, carrier vs public DNS",
                     ds.carrier_names[c]
                 ),
-                &[("local", &local), ("google", &google), ("opendns", &opendns)],
+                &[
+                    ("local", &local),
+                    ("google", &google),
+                    ("opendns", &opendns)
+                ],
                 "ms",
             )
         );
@@ -616,13 +613,7 @@ pub fn fig14(ds: &Dataset) -> Artifact {
 pub fn summary(ds: &Dataset) -> Artifact {
     let mut text = String::new();
     let devices: HashSet<u32> = ds.records.iter().map(|r| r.device_id).collect();
-    let span_days = ds
-        .records
-        .iter()
-        .map(|r| r.t.as_secs())
-        .max()
-        .unwrap_or(0) as f64
-        / 86_400.0;
+    let span_days = ds.records.iter().map(|r| r.t.as_secs()).max().unwrap_or(0) as f64 / 86_400.0;
     let probes: usize = ds
         .records
         .iter()
@@ -654,8 +645,11 @@ pub fn summary(ds: &Dataset) -> Artifact {
             public_equal_or_better(ds, c, ResolverKind::Google) * 100.0
         ));
     }
-    let _ = writeln!(text, "
-Headlines:");
+    let _ = writeln!(
+        text,
+        "
+Headlines:"
+    );
     let _ = writeln!(
         text,
         "  cache misses on first lookups (Fig 7): {:.0}%  [paper: ~20%]",
@@ -680,7 +674,11 @@ Headlines:");
     let _ = writeln!(
         text,
         "  traceroutes into carriers from outside (Table 4): {}",
-        if trace_zero { "0 — opaque" } else { "penetrated (!)" }
+        if trace_zero {
+            "0 — opaque"
+        } else {
+            "penetrated (!)"
+        }
     );
     Artifact {
         id: "summary".into(),

@@ -1,21 +1,22 @@
 //! The top-level study object: build a world, run the campaign, keep the
 //! dataset — the one-stop API a downstream user drives.
 
-use measure::campaign::{run_campaign, CampaignConfig};
+use measure::campaign::{run_campaign_with, CampaignConfig, Parallelism};
 use measure::record::Dataset;
 use measure::world::{build_world, World, WorldConfig};
 
 /// Full study configuration: the world to simulate and the campaign to run
 /// on it.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StudyConfig {
     /// World (topology/fleet) configuration.
     pub world: WorldConfig,
     /// Campaign (schedule/probing) configuration.
     pub campaign: CampaignConfig,
+    /// Thread policy for the campaign driver. Never affects results — only
+    /// wall-clock time.
+    pub parallelism: Parallelism,
 }
-
 
 impl StudyConfig {
     /// Paper-scale world, standard six-week campaign (the `repro` default).
@@ -26,6 +27,7 @@ impl StudyConfig {
                 ..WorldConfig::default()
             },
             campaign: CampaignConfig::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -34,6 +36,7 @@ impl StudyConfig {
         StudyConfig {
             world: WorldConfig::quick(seed),
             campaign: CampaignConfig::quick(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -44,6 +47,8 @@ pub struct Study {
     pub world: World,
     /// Campaign configuration.
     pub campaign: CampaignConfig,
+    /// Thread policy for the campaign driver.
+    pub parallelism: Parallelism,
 }
 
 impl Study {
@@ -52,12 +57,13 @@ impl Study {
         Study {
             world: build_world(config.world),
             campaign: config.campaign,
+            parallelism: config.parallelism,
         }
     }
 
     /// Runs the configured campaign and returns the dataset.
     pub fn run(&mut self) -> Dataset {
-        run_campaign(&mut self.world, &self.campaign.clone())
+        run_campaign_with(&mut self.world, &self.campaign.clone(), self.parallelism)
     }
 }
 

@@ -16,7 +16,10 @@ pub const DNS_PORT: u16 = 53;
 
 /// A zone whose answers are computed per query. The CDN's replica-mapping
 /// authority implements this; so does the whoami probe zone.
-pub trait DynamicZone {
+///
+/// `Send` for the same reason as `netsim`'s `UdpService`: authoritative
+/// servers (and the engines owning them) migrate across campaign threads.
+pub trait DynamicZone: Send {
     /// The zone apex this authority serves.
     fn origin(&self) -> &DnsName;
 
@@ -251,11 +254,7 @@ mod tests {
         Ipv4Addr::new(a, b, c, d)
     }
 
-    fn run(
-        server: &mut AuthoritativeServer,
-        query: &Message,
-        from: Ipv4Addr,
-    ) -> Message {
+    fn run(server: &mut AuthoritativeServer, query: &Message, from: Ipv4Addr) -> Message {
         let mut rng = StdRng::seed_from_u64(0);
         let mut ctx = ServiceCtx {
             now: SimTime::from_micros(5_000_000),
@@ -356,12 +355,7 @@ mod tests {
             rng: &mut rng,
             wake_after: None,
         };
-        let out = s.handle(
-            &mut ctx,
-            ip(1, 1, 1, 1),
-            9,
-            &as_response.encode().unwrap(),
-        );
+        let out = s.handle(&mut ctx, ip(1, 1, 1, 1), 9, &as_response.encode().unwrap());
         assert!(out.is_empty());
     }
 

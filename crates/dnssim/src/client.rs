@@ -60,7 +60,9 @@ impl DnsLookup {
 
     /// The canonical (CNAME-chased) name of the query.
     pub fn canonical_name(&self) -> Option<DnsName> {
-        self.response.as_ref().map(|m| m.canonical_name(&self.qname))
+        self.response
+            .as_ref()
+            .map(|m| m.canonical_name(&self.qname))
     }
 }
 

@@ -173,8 +173,12 @@ impl Forwarder {
     /// Absorbs a relayed response into the cache under its question key,
     /// partitioned by `scope` when the answer was ECS-scoped.
     fn absorb(&mut self, msg: &Message, scope: Option<Prefix>, now: SimTime) {
-        let Some(cache) = self.cache.as_mut() else { return };
-        let Some(q) = msg.questions.first() else { return };
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        let Some(q) = msg.questions.first() else {
+            return;
+        };
         match msg.header.rcode {
             Rcode::NoError if !msg.answers.is_empty() => {
                 let ttl = msg.answers.iter().map(|rr| rr.ttl).min().unwrap_or(0);
@@ -364,7 +368,12 @@ mod tests {
             .recursion_desired(true)
             .build()
             .unwrap();
-        let out = f.handle(&mut ctx(&mut rng, 0), ip(10, 9, 9, 9), 5555, &q.encode().unwrap());
+        let out = f.handle(
+            &mut ctx(&mut rng, 0),
+            ip(10, 9, 9, 9),
+            5555,
+            &q.encode().unwrap(),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dst, ip(66, 174, 0, 1)); // sticky = first upstream
         assert_eq!(out[0].dst_port, DNS_PORT);
@@ -404,7 +413,12 @@ mod tests {
             let q = QueryBuilder::new(i, "m.yelp.com", RecordType::A)
                 .build()
                 .unwrap();
-            let out = f.handle(&mut ctx(&mut rng, i as u64), ip(10, 9, 9, 9), 5555, &q.encode().unwrap());
+            let out = f.handle(
+                &mut ctx(&mut rng, i as u64),
+                ip(10, 9, 9, 9),
+                5555,
+                &q.encode().unwrap(),
+            );
             seen.insert(out[0].dst);
         }
         assert_eq!(seen.len(), 4, "all upstreams used");
@@ -426,7 +440,12 @@ mod tests {
                 .build()
                 .unwrap();
             // All within the lease window.
-            let out = f.handle(&mut ctx(&mut rng, i as u64), ip(10, 9, 9, 9), 5555, &q.encode().unwrap());
+            let out = f.handle(
+                &mut ctx(&mut rng, i as u64),
+                ip(10, 9, 9, 9),
+                5555,
+                &q.encode().unwrap(),
+            );
             targets.insert(out[0].dst);
         }
         assert_eq!(targets.len(), 1, "stable within lease");
@@ -448,7 +467,12 @@ mod tests {
                 .build()
                 .unwrap();
             // 100 s apart: every query renews the lease.
-            let out = f.handle(&mut ctx(&mut rng, i * 100), ip(10, 9, 9, 9), 5555, &q.encode().unwrap());
+            let out = f.handle(
+                &mut ctx(&mut rng, i * 100),
+                ip(10, 9, 9, 9),
+                5555,
+                &q.encode().unwrap(),
+            );
             targets.insert(out[0].dst);
         }
         assert!(targets.len() > 1, "repicks happen across leases");
@@ -470,7 +494,12 @@ mod tests {
             let q = QueryBuilder::new(c as u16, "m.yelp.com", RecordType::A)
                 .build()
                 .unwrap();
-            let out = f.handle(&mut ctx(&mut rng, 0), ip(10, 9, 9, c), 5555, &q.encode().unwrap());
+            let out = f.handle(
+                &mut ctx(&mut rng, 0),
+                ip(10, 9, 9, c),
+                5555,
+                &q.encode().unwrap(),
+            );
             targets.insert(out[0].dst);
         }
         assert!(targets.len() > 1, "clients spread across the pool");

@@ -179,7 +179,10 @@ impl RecursiveResolver {
                 .cache
                 .lookup(&(current.clone(), RecordType::Cname, scope), now)
             {
-                CacheOutcome::Hit { records, rcode: Rcode::NoError } if !records.is_empty() => {
+                CacheOutcome::Hit {
+                    records,
+                    rcode: Rcode::NoError,
+                } if !records.is_empty() => {
                     let target = records[0].rdata.as_cname()?.clone();
                     chain.extend(records);
                     current = target;
@@ -263,12 +266,7 @@ impl RecursiveResolver {
         }
     }
 
-    fn reply(
-        &mut self,
-        fl: &InFlight,
-        rcode: Rcode,
-        answers: Vec<ResourceRecord>,
-    ) -> Egress {
+    fn reply(&mut self, fl: &InFlight, rcode: Rcode, answers: Vec<ResourceRecord>) -> Egress {
         if rcode == Rcode::ServFail {
             self.stats.servfails += 1;
         }
@@ -464,11 +462,7 @@ impl RecursiveResolver {
                     .cloned();
                 match cname {
                     Some(rr) => {
-                        let target = rr
-                            .rdata
-                            .as_cname()
-                            .expect("cname rdata")
-                            .clone();
+                        let target = rr.rdata.as_cname().expect("cname rdata").clone();
                         fl.chain.push(rr);
                         current = target;
                         appended = true;
@@ -572,9 +566,7 @@ impl RecursiveResolver {
     /// Requests a timer tick covering the earliest in-flight deadline.
     fn arm_timer(&self, ctx: &mut ServiceCtx<'_>) {
         if let Some(earliest) = self.inflight.values().map(|fl| fl.deadline).min() {
-            let wait = earliest
-                .since(ctx.now)
-                .max(SimDuration::from_millis(1));
+            let wait = earliest.since(ctx.now).max(SimDuration::from_millis(1));
             ctx.wake_after = Some(wait);
         }
     }

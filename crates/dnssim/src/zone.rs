@@ -136,7 +136,11 @@ impl Zone {
 
     /// The SOA record for negative answers.
     fn soa_record(&self) -> ResourceRecord {
-        ResourceRecord::new(self.origin.clone(), self.soa_ttl, RData::Soa(self.soa.clone()))
+        ResourceRecord::new(
+            self.origin.clone(),
+            self.soa_ttl,
+            RData::Soa(self.soa.clone()),
+        )
     }
 
     /// Whether any record (of any type) exists at `name`.

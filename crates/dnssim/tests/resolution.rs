@@ -36,15 +36,69 @@ struct World {
 /// client -- fwd -- resolver -- hub -- {root, tld(com/example), auth, probe}
 fn build_world(ambient: Option<AmbientModel>) -> World {
     let mut t = Topology::new();
-    let hub = t.add_node("hub", NodeKind::Router, Asn(100), Coord::default(), vec![ip(203, 0, 0, 1)]);
-    let client = t.add_node("client", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-    let fwd = t.add_node("fwd", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 53, 1)]);
-    let rsl = t.add_node("resolver", NodeKind::Host, Asn(2), Coord::default(), vec![ip(66, 174, 0, 1)]);
-    let root = t.add_node("root", NodeKind::Host, Asn(100), Coord::default(), vec![ip(198, 41, 0, 4)]);
-    let tld_com = t.add_node("tld-com", NodeKind::Host, Asn(100), Coord::default(), vec![ip(192, 5, 6, 30)]);
-    let tld_example = t.add_node("tld-example", NodeKind::Host, Asn(100), Coord::default(), vec![ip(192, 5, 6, 32)]);
-    let auth = t.add_node("auth", NodeKind::Host, Asn(200), Coord::default(), vec![ip(198, 51, 100, 53)]);
-    let probe = t.add_node("probe-adns", NodeKind::Host, Asn(300), Coord::default(), vec![ip(198, 51, 200, 53)]);
+    let hub = t.add_node(
+        "hub",
+        NodeKind::Router,
+        Asn(100),
+        Coord::default(),
+        vec![ip(203, 0, 0, 1)],
+    );
+    let client = t.add_node(
+        "client",
+        NodeKind::Host,
+        Asn(1),
+        Coord::default(),
+        vec![ip(10, 0, 0, 1)],
+    );
+    let fwd = t.add_node(
+        "fwd",
+        NodeKind::Host,
+        Asn(1),
+        Coord::default(),
+        vec![ip(10, 0, 53, 1)],
+    );
+    let rsl = t.add_node(
+        "resolver",
+        NodeKind::Host,
+        Asn(2),
+        Coord::default(),
+        vec![ip(66, 174, 0, 1)],
+    );
+    let root = t.add_node(
+        "root",
+        NodeKind::Host,
+        Asn(100),
+        Coord::default(),
+        vec![ip(198, 41, 0, 4)],
+    );
+    let tld_com = t.add_node(
+        "tld-com",
+        NodeKind::Host,
+        Asn(100),
+        Coord::default(),
+        vec![ip(192, 5, 6, 30)],
+    );
+    let tld_example = t.add_node(
+        "tld-example",
+        NodeKind::Host,
+        Asn(100),
+        Coord::default(),
+        vec![ip(192, 5, 6, 32)],
+    );
+    let auth = t.add_node(
+        "auth",
+        NodeKind::Host,
+        Asn(200),
+        Coord::default(),
+        vec![ip(198, 51, 100, 53)],
+    );
+    let probe = t.add_node(
+        "probe-adns",
+        NodeKind::Host,
+        Asn(300),
+        Coord::default(),
+        vec![ip(198, 51, 200, 53)],
+    );
 
     t.add_link(client, fwd, LatencyModel::constant_ms(5));
     t.add_link(fwd, rsl, LatencyModel::constant_ms(10));
@@ -98,7 +152,10 @@ fn build_world(ambient: Option<AmbientModel>) -> World {
     net.register_service(
         fwd,
         DNS_PORT,
-        Box::new(Forwarder::new(vec![ip(66, 174, 0, 1)], UpstreamPolicy::Sticky)),
+        Box::new(Forwarder::new(
+            vec![ip(66, 174, 0, 1)],
+            UpstreamPolicy::Sticky,
+        )),
     );
 
     World {
@@ -131,8 +188,20 @@ fn full_recursive_resolution_with_cname_chain() {
 #[test]
 fn second_lookup_is_served_from_cache() {
     let mut w = build_world(None);
-    let cold = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
-    let warm = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let cold = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
+    let warm = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     assert!(cold.ok() && warm.ok());
     let (c, h) = (
         cold.elapsed.unwrap().as_millis_f64(),
@@ -146,17 +215,32 @@ fn second_lookup_is_served_from_cache() {
 #[test]
 fn cache_expires_after_ttl() {
     let mut w = build_world(None);
-    let _ = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let _ = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     // Move past the 30s TTL.
     let later = w.net.now() + SimDuration::from_secs(120);
     w.net.skip_to(later);
-    let again = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let again = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     let ms = again.elapsed.unwrap().as_millis_f64();
     // The A record expired so the resolver must go back upstream — but the
     // long-TTL NS/glue survive, so it asks the authoritative server directly
     // (faster than the fully cold root→TLD walk, slower than a cache hit).
     assert!(ms > 45.0, "expected an upstream resolution, got {ms}ms");
-    assert!(ms < 80.0, "expected the root/TLD walk to be skipped, got {ms}ms");
+    assert!(
+        ms < 80.0,
+        "expected the root/TLD walk to be skipped, got {ms}ms"
+    );
 }
 
 #[test]
@@ -168,10 +252,22 @@ fn ambient_model_keeps_popular_records_warm() {
         phase: SimDuration::ZERO,
     };
     let mut w = build_world(Some(ambient));
-    let _ = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let _ = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     let later = w.net.now() + SimDuration::from_secs(3600);
     w.net.skip_to(later);
-    let again = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let again = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     let ms = again.elapsed.unwrap().as_millis_f64();
     assert!(ms < 40.0, "expected warm-path resolution, got {ms}ms");
 }
@@ -179,12 +275,24 @@ fn ambient_model_keeps_popular_records_warm() {
 #[test]
 fn nxdomain_propagates_and_negative_caches() {
     let mut w = build_world(None);
-    let miss = resolve(&mut w.net, w.client, w.forwarder_addr, &n("nope.buzzfeed.com"), RecordType::A);
+    let miss = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("nope.buzzfeed.com"),
+        RecordType::A,
+    );
     let resp = miss.response.expect("response arrived");
     assert_eq!(resp.header.rcode, Rcode::NxDomain);
     let cold_ms = miss.elapsed.unwrap().as_millis_f64();
     // Negative cache makes the second miss fast.
-    let again = resolve(&mut w.net, w.client, w.forwarder_addr, &n("nope.buzzfeed.com"), RecordType::A);
+    let again = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("nope.buzzfeed.com"),
+        RecordType::A,
+    );
     let warm_ms = again.elapsed.unwrap().as_millis_f64();
     assert_eq!(again.response.unwrap().header.rcode, Rcode::NxDomain);
     assert!(warm_ms < cold_ms / 2.0, "warm {warm_ms} cold {cold_ms}");
@@ -209,19 +317,41 @@ fn whoami_reveals_external_resolver_not_forwarder() {
 #[test]
 fn whoami_nonces_defeat_caching() {
     let mut w = build_world(None);
-    let (a, ext_a) = whoami(&mut w.net, w.client, w.forwarder_addr, &n("whoami.probe.example"));
-    let (b, ext_b) = whoami(&mut w.net, w.client, w.forwarder_addr, &n("whoami.probe.example"));
+    let (a, ext_a) = whoami(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("whoami.probe.example"),
+    );
+    let (b, ext_b) = whoami(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("whoami.probe.example"),
+    );
     assert!(a.ok() && b.ok());
     assert_eq!(ext_a, ext_b);
     // Both lookups must have taken the full path (no cache hit on nonce).
-    let (ta, tb) = (a.elapsed.unwrap().as_millis_f64(), b.elapsed.unwrap().as_millis_f64());
-    assert!(tb > ta * 0.4, "second whoami suspiciously fast: {tb} vs {ta}");
+    let (ta, tb) = (
+        a.elapsed.unwrap().as_millis_f64(),
+        b.elapsed.unwrap().as_millis_f64(),
+    );
+    assert!(
+        tb > ta * 0.4,
+        "second whoami suspiciously fast: {tb} vs {ta}"
+    );
 }
 
 #[test]
 fn direct_resolver_query_skips_the_forwarder() {
     let mut w = build_world(None);
-    let direct = resolve(&mut w.net, w.client, w.resolver_addr, &n("www.buzzfeed.com"), RecordType::A);
+    let direct = resolve(
+        &mut w.net,
+        w.client,
+        w.resolver_addr,
+        &n("www.buzzfeed.com"),
+        RecordType::A,
+    );
     assert!(direct.ok());
     assert_eq!(direct.addrs().len(), 2);
 }
@@ -229,7 +359,13 @@ fn direct_resolver_query_skips_the_forwarder() {
 #[test]
 fn unknown_domain_gets_refused_rcode_from_hierarchy() {
     let mut w = build_world(None);
-    let lookup = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.unknown-tld.zz"), RecordType::A);
+    let lookup = resolve(
+        &mut w.net,
+        w.client,
+        w.forwarder_addr,
+        &n("www.unknown-tld.zz"),
+        RecordType::A,
+    );
     // The root has no .zz delegation: NXDOMAIN from the root propagates.
     let resp = lookup.response.expect("resolved to an error");
     assert_eq!(resp.header.rcode, Rcode::NxDomain);
@@ -257,7 +393,9 @@ fn big_answers_truncate_for_non_edns_clients() {
         ));
     }
     srv.add_zone(z);
-    let _ = w.net.unregister_service(auth_node, dnssim::authority::DNS_PORT);
+    let _ = w
+        .net
+        .unregister_service(auth_node, dnssim::authority::DNS_PORT);
     w.net
         .register_service(auth_node, dnssim::authority::DNS_PORT, Box::new(srv));
 
@@ -297,10 +435,15 @@ fn resolver_retries_past_an_unresponsive_root() {
     let mut cfg = ResolverConfig::new(vec![ip(203, 0, 113, 99), ip(198, 41, 0, 4)]);
     cfg.inflight_deadline = netsim::time::SimDuration::from_millis(800);
     let rsl_node = w.net.topo().owner_of(w.resolver_addr).unwrap();
-    let old = w.net.unregister_service(rsl_node, dnssim::authority::DNS_PORT);
+    let old = w
+        .net
+        .unregister_service(rsl_node, dnssim::authority::DNS_PORT);
     assert!(old.is_some());
-    w.net
-        .register_service(rsl_node, dnssim::authority::DNS_PORT, Box::new(RecursiveResolver::new(cfg)));
+    w.net.register_service(
+        rsl_node,
+        dnssim::authority::DNS_PORT,
+        Box::new(RecursiveResolver::new(cfg)),
+    );
     let lookup = resolve(
         &mut w.net,
         w.client,
@@ -320,7 +463,13 @@ fn resolver_retries_past_an_unresponsive_root() {
 fn resolution_is_deterministic() {
     let run = || {
         let mut w = build_world(None);
-        let l = resolve(&mut w.net, w.client, w.forwarder_addr, &n("www.buzzfeed.com"), RecordType::A);
+        let l = resolve(
+            &mut w.net,
+            w.client,
+            w.forwarder_addr,
+            &n("www.buzzfeed.com"),
+            RecordType::A,
+        );
         (l.elapsed.map(|e| e.as_micros()), l.addrs())
     };
     assert_eq!(run(), run());

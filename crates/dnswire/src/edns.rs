@@ -113,9 +113,7 @@ pub fn decode_options(bytes: &[u8]) -> Result<Vec<EdnsOption>, WireError> {
             let source_prefix_len = body[2];
             let scope_prefix_len = body[3];
             let addr_bytes = &body[4..];
-            if addr_bytes.len() != source_prefix_len.div_ceil(8) as usize
-                || addr_bytes.len() > 4
-            {
+            if addr_bytes.len() != source_prefix_len.div_ceil(8) as usize || addr_bytes.len() > 4 {
                 return Err(WireError::BadRdata("ecs address length mismatch"));
             }
             let mut octets = [0u8; 4];
@@ -229,11 +227,7 @@ impl crate::message::Message {
         }]));
         // OPT owner is the root; the TTL field carries EDNS flags (zeroed)
         // and the CLASS field advertises the supported UDP payload size.
-        let mut rr = crate::message::ResourceRecord::new(
-            crate::name::DnsName::root(),
-            0,
-            rdata,
-        );
+        let mut rr = crate::message::ResourceRecord::new(crate::name::DnsName::root(), 0, rdata);
         rr.class = crate::rdata::RecordClass::from_code(DEFAULT_UDP_PAYLOAD_SIZE);
         self.additionals.push(rr);
     }

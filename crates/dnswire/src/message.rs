@@ -376,7 +376,10 @@ impl Message {
 
     /// All A-record addresses in the answer section, in order.
     pub fn answer_addrs(&self) -> Vec<std::net::Ipv4Addr> {
-        self.answers.iter().filter_map(|rr| rr.rdata.as_a()).collect()
+        self.answers
+            .iter()
+            .filter_map(|rr| rr.rdata.as_a())
+            .collect()
     }
 
     /// Follows the CNAME chain in the answer section starting from `name`,
@@ -442,11 +445,7 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    pub(crate) fn take(
-        &mut self,
-        n: usize,
-        context: &'static str,
-    ) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
         let end = self
             .pos
             .checked_add(n)
@@ -532,10 +531,7 @@ pub(crate) struct NameEncoder<'a> {
 }
 
 impl<'a> NameEncoder<'a> {
-    pub(crate) fn new(
-        out: &'a mut Vec<u8>,
-        offsets: &'a mut HashMap<Vec<Vec<u8>>, usize>,
-    ) -> Self {
+    pub(crate) fn new(out: &'a mut Vec<u8>, offsets: &'a mut HashMap<Vec<Vec<u8>>, usize>) -> Self {
         NameEncoder { out, offsets }
     }
 

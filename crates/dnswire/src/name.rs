@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_labels() {
-        assert_eq!(
-            DnsName::parse("a..b").unwrap_err(),
-            WireError::EmptyLabel
-        );
+        assert_eq!(DnsName::parse("a..b").unwrap_err(), WireError::EmptyLabel);
         assert!(matches!(
             DnsName::parse("bad!char.com").unwrap_err(),
             WireError::InvalidLabelByte(b'!')

@@ -356,10 +356,7 @@ mod tests {
             RData::A(Ipv4Addr::new(1, 2, 3, 4)).record_type(),
             RecordType::A
         );
-        assert_eq!(
-            RData::Txt(vec!["x".into()]).record_type(),
-            RecordType::Txt
-        );
+        assert_eq!(RData::Txt(vec!["x".into()]).record_type(), RecordType::Txt);
         assert_eq!(RData::Unknown(300, vec![]).record_type().code(), 300);
     }
 

@@ -9,26 +9,54 @@ use crate::record::{
     ResolverProbe,
 };
 use crate::spec::ExperimentSpec;
-use crate::world::{World, GOOGLE_VIP, OPENDNS_VIP};
+use crate::world::{Backbone, CarrierShard, World, GOOGLE_VIP, OPENDNS_VIP};
 use dnssim::client::{resolve, whoami};
 use dnswire::rdata::RecordType;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-/// Runs one experiment for the device at `device_idx`. `seq` is the
-/// device's experiment counter (drives probe subsampling rotation).
-pub fn run_experiment(world: &mut World, device_idx: usize, seq: u32, spec: &ExperimentSpec) -> ExperimentRecord {
-    let World {
+/// Runs one experiment for the device at fleet-global index `device_idx`.
+/// `seq` is the device's experiment counter (drives probe subsampling
+/// rotation). Convenience wrapper over [`run_experiment_in_shard`] for
+/// drivers holding a whole [`World`].
+pub fn run_experiment(
+    world: &mut World,
+    device_idx: usize,
+    seq: u32,
+    spec: &ExperimentSpec,
+) -> ExperimentRecord {
+    let (shard_idx, local_idx) = world.locate_device(device_idx);
+    let backbone = std::sync::Arc::clone(&world.backbone);
+    run_experiment_in_shard(
+        &backbone,
+        &mut world.shards[shard_idx],
+        local_idx,
+        seq,
+        spec,
+    )
+}
+
+/// Runs one experiment on a single carrier shard. Everything the experiment
+/// touches — engine, carrier, device, RNG — lives on the shard; the
+/// backbone contributes only immutable data (catalog, probe zone). This is
+/// the unit the parallel campaign driver schedules across threads.
+pub fn run_experiment_in_shard(
+    backbone: &Backbone,
+    shard: &mut CarrierShard,
+    device_idx: usize,
+    seq: u32,
+    spec: &ExperimentSpec,
+) -> ExperimentRecord {
+    let CarrierShard {
         net,
-        carriers,
+        carrier,
         devices,
         rng,
-        catalog,
-        probe_zone,
         ..
-    } = world;
+    } = shard;
+    let catalog = &backbone.catalog;
+    let probe_zone = &backbone.probe_zone;
     let device = &mut devices[device_idx];
-    let carrier = &mut carriers[device.carrier];
     let now = net.now();
 
     // Bearer churn that came due between experiments.
@@ -158,14 +186,13 @@ pub fn run_experiment(world: &mut World, device_idx: usize, seq: u32, spec: &Exp
         };
         // Rotate which replicas get traced so the corpus covers all of them
         // over time without tracing everything every hour.
-        let trace_hops = if (i + seq as usize) % replica_order.len().max(1)
-            < spec.replica_trace_sample
-        {
-            net.traceroute(device.node, addr, spec.trace_max_ttl)
-                .responding_hops()
-        } else {
-            Vec::new()
-        };
+        let trace_hops =
+            if (i + seq as usize) % replica_order.len().max(1) < spec.replica_trace_sample {
+                net.traceroute(device.node, addr, spec.trace_max_ttl)
+                    .responding_hops()
+            } else {
+                Vec::new()
+            };
         for (k, &(d_idx, via)) in replica_seen[&addr].iter().enumerate() {
             replica_probes.push(ReplicaProbe {
                 domain_idx: d_idx,
@@ -175,7 +202,11 @@ pub fn run_experiment(world: &mut World, device_idx: usize, seq: u32, spec: &Exp
                 ttfb_us,
                 // Attach the trace to the first combo only, so egress
                 // analysis does not double-count one traceroute.
-                trace_hops: if k == 0 { trace_hops.clone() } else { Vec::new() },
+                trace_hops: if k == 0 {
+                    trace_hops.clone()
+                } else {
+                    Vec::new()
+                },
             });
         }
     }
@@ -256,7 +287,12 @@ mod tests {
                 .collect();
             xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len().max(1) as f64
         };
-        assert!(mean(2) <= mean(1) * 1.05, "2nd {} vs 1st {}", mean(2), mean(1));
+        assert!(
+            mean(2) <= mean(1) * 1.05,
+            "2nd {} vs 1st {}",
+            mean(2),
+            mean(1)
+        );
     }
 
     #[test]

@@ -12,13 +12,16 @@ pub mod record;
 pub mod spec;
 pub mod world;
 
-pub use campaign::{probe_external_reachability, run_campaign, CampaignConfig};
-pub use experiment::run_experiment;
+pub use campaign::{
+    probe_external_reachability, run_campaign, run_campaign_with, CampaignConfig, Parallelism,
+};
+pub use experiment::{run_experiment, run_experiment_in_shard};
 pub use record::{
     Dataset, DnsTiming, ExperimentRecord, ExternalReachProbe, ProbeTarget, ReplicaProbe,
     ResolverIdentity, ResolverKind, ResolverProbe,
 };
 pub use spec::ExperimentSpec;
 pub use world::{
-    build_world, CdnNet, PublicDns, PublicSite, World, WorldConfig, GOOGLE_VIP, OPENDNS_VIP,
+    build_world, Backbone, CarrierShard, CdnNet, PublicDns, PublicSite, World, WorldConfig,
+    GOOGLE_VIP, OPENDNS_VIP,
 };

@@ -22,7 +22,11 @@ pub enum ResolverKind {
 impl ResolverKind {
     /// All kinds, in the order the experiment probes them.
     pub fn all() -> [ResolverKind; 3] {
-        [ResolverKind::Local, ResolverKind::Google, ResolverKind::OpenDns]
+        [
+            ResolverKind::Local,
+            ResolverKind::Google,
+            ResolverKind::OpenDns,
+        ]
     }
 
     /// Display label.
@@ -177,7 +181,7 @@ pub struct ExternalReachProbe {
 }
 
 /// A full campaign's output.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Dataset {
     /// Per-experiment records.
     pub records: Vec<ExperimentRecord>,
@@ -216,8 +220,9 @@ impl Dataset {
 
     /// CSV of the lookup table (one row per timed lookup).
     pub fn lookups_csv(&self) -> String {
-        let mut out =
-            String::from("device,carrier,t_s,radio,resolver,resolver_addr,domain,attempt,elapsed_ms\n");
+        let mut out = String::from(
+            "device,carrier,t_s,radio,resolver,resolver_addr,domain,attempt,elapsed_ms\n",
+        );
         for r in &self.records {
             for l in &r.lookups {
                 let _ = writeln!(
@@ -242,8 +247,7 @@ impl Dataset {
 
     /// CSV of replica probes.
     pub fn replicas_csv(&self) -> String {
-        let mut out =
-            String::from("device,carrier,t_s,domain,via,replica,ping_ms,ttfb_ms\n");
+        let mut out = String::from("device,carrier,t_s,domain,via,replica,ping_ms,ttfb_ms\n");
         for r in &self.records {
             for p in &r.replica_probes {
                 let _ = writeln!(

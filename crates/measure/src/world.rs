@@ -1,6 +1,14 @@
 //! World assembly: the simulated internet the measurement campaign runs
 //! against — backbone, DNS hierarchy, probe ADNS, public DNS deployments,
 //! CDNs, the six carriers, and the device fleet.
+//!
+//! The world is split into a shared, immutable [`Backbone`] (topology
+//! template, zone data, CDN knowledge tables) and one [`CarrierShard`] per
+//! carrier. Each shard owns a complete discrete-event engine cloned from the
+//! template plus its carrier's devices and a private RNG stream derived from
+//! the master seed and the carrier index. Experiments only ever touch the
+//! device's own carrier, so shards never communicate: the campaign can run
+//! them on any number of threads and produce bit-identical results.
 
 use cdnsim::catalog::{mobile_domains, CatalogEntry, PROVIDER_COUNT, PROVIDER_NAMES};
 use cdnsim::cdn::{Cdn, CdnConfig, Replica};
@@ -15,8 +23,8 @@ use dnssim::recursive::{RecursiveResolver, ResolverConfig};
 use dnssim::zone::Zone;
 use dnswire::name::DnsName;
 use netsim::addr::Prefix;
-use netsim::tcplite::TcpHttpServer;
 use netsim::engine::Network;
+use netsim::tcplite::TcpHttpServer;
 use netsim::time::SimDuration;
 use netsim::topo::{Asn, Coord, NodeId, NodeKind, Topology};
 use netsim::HTTP_PORT;
@@ -119,21 +127,44 @@ pub struct CdnNet {
     pub adns: (NodeId, Ipv4Addr),
 }
 
-/// The assembled world.
-pub struct World {
-    /// The simulated network (engine + topology).
-    pub net: Network,
+/// Seed-stream lanes: every independent RNG stream in the world derives its
+/// seed from `(master, lane, index)` so streams never alias across lanes or
+/// carriers.
+mod lane {
+    /// Backbone assembly (CDN POP placement jitter).
+    pub const BACKBONE: u64 = 0;
+    /// Per-carrier topology/device construction.
+    pub const CARRIER: u64 = 1;
+    /// Per-shard campaign stream (churn, bearer reassignment).
+    pub const CAMPAIGN: u64 = 2;
+    /// Per-shard engine stream (link latency sampling, loss).
+    pub const ENGINE: u64 = 3;
+}
+
+/// Derives an independent seed for `(lane, index)` from the master seed
+/// (SplitMix64 finalizer over a lane/index-keyed state).
+fn derive_seed(master: u64, lane: u64, index: u64) -> u64 {
+    let mut z = master
+        ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The immutable part of the world, shared (via `Arc`) by every carrier
+/// shard: the full topology template, the DNS hierarchy's zone data, CDN
+/// deployments with their knowledge tables, and the public-DNS plan.
+///
+/// Nothing here is ever mutated after [`build_world`] returns, so shards on
+/// different threads can read it concurrently without synchronization.
+pub struct Backbone {
     /// Configuration the world was built from.
     pub config: WorldConfig,
-    /// The six carriers.
-    pub carriers: Vec<CarrierNet>,
-    /// The full device fleet (all carriers; `Device::carrier` indexes into
-    /// `carriers`).
-    pub devices: Vec<Device>,
-    /// Public DNS services: `[0]` Google-like, `[1]` OpenDNS-like.
-    pub public_dns: Vec<PublicDns>,
-    /// CDN providers.
-    pub cdns: Vec<CdnNet>,
+    /// The complete topology (backbone + hierarchy + public DNS + CDNs +
+    /// all six carriers and their devices). Each shard's engine runs on a
+    /// clone of this template.
+    pub template: Topology,
     /// Domain catalog (Table 2).
     pub catalog: Vec<CatalogEntry>,
     /// The whoami probe zone (queried with nonce labels).
@@ -142,8 +173,121 @@ pub struct World {
     pub university: NodeId,
     /// Root server hint.
     pub roots: Vec<Ipv4Addr>,
-    /// Campaign-level RNG (distinct stream from the engine's).
+    /// Public DNS services: `[0]` Google-like, `[1]` OpenDNS-like.
+    pub public_dns: Vec<PublicDns>,
+    /// CDN providers (knowledge tables behind `Arc`, shared by all shards).
+    pub cdns: Vec<CdnNet>,
+    /// Root server node and zone.
+    root: (NodeId, Zone),
+    /// TLD server nodes and zones.
+    tlds: Vec<(NodeId, Zone)>,
+    /// Probe ADNS node and its static apex zone.
+    probe: (NodeId, Zone),
+}
+
+impl Backbone {
+    /// Creates a fresh engine for shard `index`: the topology template is
+    /// cloned and every shard-independent service (DNS hierarchy, probe
+    /// ADNS, CDN authorities and replicas, public-DNS resolvers + anycast)
+    /// is instantiated on it. Carrier services are installed by the caller.
+    fn spawn_engine(&self, index: usize) -> Network {
+        let mut net = Network::new(
+            self.template.clone(),
+            derive_seed(self.config.seed, lane::ENGINE, index as u64),
+        );
+
+        // DNS hierarchy.
+        let mut root_srv = AuthoritativeServer::new();
+        root_srv.add_zone(self.root.1.clone());
+        net.register_service(self.root.0, DNS_PORT, Box::new(root_srv));
+        for (node, zone) in &self.tlds {
+            let mut srv = AuthoritativeServer::new();
+            srv.add_zone(zone.clone());
+            net.register_service(*node, DNS_PORT, Box::new(srv));
+        }
+
+        // Probe ADNS: whoami dynamic zone under a static apex.
+        let mut probe_srv = AuthoritativeServer::new();
+        probe_srv.add_zone(self.probe.1.clone());
+        probe_srv.add_dynamic(Box::new(WhoamiZone::new(self.probe_zone.clone())));
+        net.register_service(self.probe.0, DNS_PORT, Box::new(probe_srv));
+
+        // CDNs: mapping + edge zones over the shared knowledge tables,
+        // replica HTTP servers.
+        for cdn_net in &self.cdns {
+            let p = cdn_net.provider;
+            let mut adns = AuthoritativeServer::new();
+            for entry in self.catalog.iter().filter(|e| e.provider == p) {
+                adns.add_dynamic(Box::new(MappingZone::new(
+                    entry.zone.clone(),
+                    DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                        .expect("valid edge suffix"),
+                    Arc::clone(&cdn_net.cdn),
+                )));
+            }
+            adns.add_dynamic(Box::new(EdgeZone::new(
+                DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                    .expect("valid edge zone"),
+                Arc::clone(&cdn_net.cdn),
+            )));
+            net.register_service(cdn_net.adns.0, DNS_PORT, Box::new(adns));
+            for &(node, _) in &cdn_net.replicas {
+                // Index pages of ~16 KiB served over TCP-lite: TTFB pays the
+                // real handshake and the transfer pays segmentation + loss.
+                net.register_service(
+                    node,
+                    HTTP_PORT,
+                    Box::new(TcpHttpServer::new(16 * 1024, SimDuration::from_millis(8))),
+                );
+            }
+        }
+
+        // Public DNS recursive resolvers + anycast VIPs.
+        for pd in &self.public_dns {
+            for site in &pd.sites {
+                let mut cfg = ResolverConfig::new(self.roots.clone());
+                cfg.egress_addrs = site.egress_addrs.clone();
+                if let Some(period) = self.config.ambient_period {
+                    cfg.ambient = Some(dnssim::cache::AmbientModel {
+                        period,
+                        phase: SimDuration::from_micros(
+                            site.prefix.network().octets()[2] as u64 * 4_999_999,
+                        ),
+                    });
+                }
+                net.register_service(site.node, DNS_PORT, Box::new(RecursiveResolver::new(cfg)));
+            }
+            net.add_anycast(pd.vip, pd.sites.iter().map(|s| s.node).collect());
+        }
+
+        net
+    }
+}
+
+/// One carrier's slice of the world: a full engine (cloned from the
+/// backbone template, with this carrier's services and middleboxes
+/// installed), the carrier's network plan, its devices, and a private
+/// campaign RNG stream.
+pub struct CarrierShard {
+    /// Carrier index (position in [`World::shards`]).
+    pub index: usize,
+    /// This shard's discrete-event engine.
+    pub net: Network,
+    /// The carrier built on this shard.
+    pub carrier: CarrierNet,
+    /// This carrier's devices (`Device::id` stays fleet-global).
+    pub devices: Vec<Device>,
+    /// Campaign-level RNG (stream derived from the master seed and the
+    /// carrier index; distinct from the engine's).
     pub rng: StdRng,
+}
+
+/// The assembled world: the shared backbone plus one shard per carrier.
+pub struct World {
+    /// Immutable shared state.
+    pub backbone: Arc<Backbone>,
+    /// Per-carrier shards, in canonical carrier order.
+    pub shards: Vec<CarrierShard>,
 }
 
 /// Well-known public DNS VIPs.
@@ -183,9 +327,12 @@ fn backbone_coords() -> Vec<Coord> {
 /// Number of US POPs in [`backbone_coords`].
 const US_POPS: usize = 12;
 
-/// Builds the complete world.
+/// Builds the complete world: the backbone topology once, then the six
+/// carrier shards (engine clone + services) concurrently — shard assembly
+/// is pure per carrier, so the thread interleaving cannot affect the
+/// result.
 pub fn build_world(config: WorldConfig) -> World {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, lane::BACKBONE, 0));
     let mut topo = Topology::new();
 
     // --- Backbone ---
@@ -274,13 +421,26 @@ pub fn build_world(config: WorldConfig) -> World {
     /// (name, vip, sites, addrs per site, first two octets, KR site share)
     type PublicPlan = (&'static str, Ipv4Addr, usize, u8, [u8; 2], usize);
     let public_plans: Vec<PublicPlan> = vec![
-        ("GoogleDNS", GOOGLE_VIP, config.google_sites, 6, [173, 194], 5),
-        ("OpenDNS", OPENDNS_VIP, config.opendns_sites, 4, [204, 194], 3),
+        (
+            "GoogleDNS",
+            GOOGLE_VIP,
+            config.google_sites,
+            6,
+            [173, 194],
+            5,
+        ),
+        (
+            "OpenDNS",
+            OPENDNS_VIP,
+            config.opendns_sites,
+            4,
+            [204, 194],
+            3,
+        ),
     ];
-    let mut public_built: Vec<(PublicDns, Vec<NodeId>)> = Vec::new();
+    let mut public_dns: Vec<PublicDns> = Vec::new();
     for (name, vip, site_count, per_site, octets, kr_share) in public_plans {
         let mut sites = Vec::new();
-        let mut nodes = Vec::new();
         for s in 0..site_count {
             let (pop, coord) = if site_count - s <= kr_share {
                 kr_pops[s % kr_pops.len()]
@@ -290,7 +450,8 @@ pub fn build_world(config: WorldConfig) -> World {
             let prefix: Prefix = format!("{}.{}.{}.0/24", octets[0], octets[1], s)
                 .parse()
                 .expect("valid site prefix");
-            let egress_addrs: Vec<Ipv4Addr> = (1..=per_site).map(|k| prefix.addr(k as u32)).collect();
+            let egress_addrs: Vec<Ipv4Addr> =
+                (1..=per_site).map(|k| prefix.addr(k as u32)).collect();
             let node = topo.add_node(
                 format!("{name}-site-{s}"),
                 NodeKind::Host,
@@ -299,7 +460,6 @@ pub fn build_world(config: WorldConfig) -> World {
                 egress_addrs.clone(),
             );
             topo.add_link(node, pop, netsim::LatencyModel::constant_ms(1));
-            nodes.push(node);
             sites.push(PublicSite {
                 node,
                 prefix,
@@ -307,7 +467,7 @@ pub fn build_world(config: WorldConfig) -> World {
                 coord,
             });
         }
-        public_built.push((PublicDns { name, vip, sites }, nodes));
+        public_dns.push(PublicDns { name, vip, sites });
     }
 
     // --- CDN replicas and ADNS ---
@@ -355,6 +515,9 @@ pub fn build_world(config: WorldConfig) -> World {
     }
 
     // --- Carriers ---
+    // Each carrier's nodes (and devices) are built with its own derived RNG
+    // stream, so a carrier's layout depends only on the master seed and its
+    // index — the property that lets shards be reassembled independently.
     let mut carrier_profiles = six_carriers();
     if config.three_g_era {
         carrier_profiles = carrier_profiles
@@ -367,8 +530,10 @@ pub fn build_world(config: WorldConfig) -> World {
         p.gateway_count = ((p.gateway_count as f64 * config.gateway_scale).round() as usize).max(2);
     }
     let mut carriers = Vec::new();
-    let mut devices = Vec::new();
+    let mut device_groups: Vec<Vec<Device>> = Vec::new();
+    let mut next_device_id = 0usize;
     for (i, profile) in carrier_profiles.into_iter().enumerate() {
+        let mut crng = StdRng::seed_from_u64(derive_seed(config.seed, lane::CARRIER, i as u64));
         let region = match profile.country {
             Country::Us => GeoRegion::us(),
             Country::SouthKorea => GeoRegion::south_korea(),
@@ -377,10 +542,11 @@ pub fn build_world(config: WorldConfig) -> World {
             Country::Us => &us_pops,
             Country::SouthKorea => &kr_pops,
         };
-        let mut carrier = build_carrier(&mut topo, i, profile, region, backbone, &mut rng);
-        let first_id = devices.len();
-        devices.extend(create_devices(&mut topo, &mut carrier, first_id, &mut rng));
+        let mut carrier = build_carrier(&mut topo, i, profile, region, backbone, &mut crng);
+        let devices = create_devices(&mut topo, &mut carrier, next_device_id, &mut crng);
+        next_device_id += devices.len();
         carriers.push(carrier);
+        device_groups.push(devices);
     }
 
     // --- Hierarchy zones ---
@@ -398,52 +564,38 @@ pub fn build_world(config: WorldConfig) -> World {
         h.add_domain(&format!("{}.example", PROVIDER_NAMES[p]), *adns_addr);
     }
     let built = h.build();
+    let tlds: Vec<(NodeId, Zone)> = built
+        .tlds
+        .into_iter()
+        .map(|(label, _, zone)| {
+            let (_, _, node) = tld_nodes
+                .iter()
+                .find(|(l, _, _)| *l == label)
+                .expect("tld node exists");
+            (*node, zone)
+        })
+        .collect();
 
-    // --- Create the engine and install services ---
-    let mut net = Network::new(topo, config.seed.wrapping_mul(0x9E3779B97F4A7C15));
-
-    let mut root_srv = AuthoritativeServer::new();
-    root_srv.add_zone(built.root);
-    net.register_service(root_node, DNS_PORT, Box::new(root_srv));
-    for (label, _, zone) in built.tlds {
-        let (_, _, node) = tld_nodes
-            .iter()
-            .find(|(l, _, _)| *l == label)
-            .expect("tld node exists");
-        let mut srv = AuthoritativeServer::new();
-        srv.add_zone(zone);
-        net.register_service(*node, DNS_PORT, Box::new(srv));
-    }
-
-    // Probe ADNS: whoami dynamic zone under a static apex.
+    // Probe apex (static part; the whoami zone is dynamic per engine).
     let probe_zone = DnsName::parse("whoami.probe.example").expect("valid probe zone");
-    let mut probe_srv = AuthoritativeServer::new();
-    let mut apex = Zone::new(DnsName::parse("probe.example").expect("valid"));
-    apex.add_a(
+    let mut probe_apex = Zone::new(DnsName::parse("probe.example").expect("valid"));
+    probe_apex.add_a(
         DnsName::parse("probe.example").expect("valid"),
         3600,
         probe_addr,
     );
-    probe_srv.add_zone(apex);
-    probe_srv.add_dynamic(Box::new(WhoamiZone::new(probe_zone.clone())));
-    net.register_service(probe_node, DNS_PORT, Box::new(probe_srv));
 
-    // CDNs: knowledge tables, mapping + edge zones, replica HTTP servers.
+    // --- CDN knowledge tables (immutable once built, shared by shards) ---
     let mut cdns = Vec::new();
-    for (p, (replicas, replica_nodes, adns_node, adns_addr)) in
-        cdn_plans.into_iter().enumerate()
-    {
+    for (p, (replicas, replica_nodes, adns_node, adns_addr)) in cdn_plans.into_iter().enumerate() {
         let mut cdn = Cdn::new(CdnConfig::new(PROVIDER_NAMES[p]), replicas);
         // Measured prefixes: public-DNS site /24s and the university.
-        for (pd, _) in &public_built {
+        for pd in &public_dns {
             for site in &pd.sites {
                 cdn.add_measured(site.prefix, site.coord);
             }
         }
-        cdn.add_measured(
-            Prefix::slash24_of(Ipv4Addr::new(129, 105, 5, 5)),
-            pops[6].1,
-        );
+        cdn.add_measured(Prefix::slash24_of(Ipv4Addr::new(129, 105, 5, 5)), pops[6].1);
         // Under an ECS deployment, CDNs learn the carrier egress /24s'
         // locations from their own server logs (those NAT addresses appear
         // as HTTP clients every day).
@@ -458,7 +610,7 @@ pub fn build_world(config: WorldConfig) -> World {
         // carrier's main peering metro.
         for carrier in &carriers {
             let centroid = match carrier.profile.country {
-                Country::Us => us_pops[4].1,  // Dallas-ish
+                Country::Us => us_pops[4].1, // Dallas-ish
                 Country::SouthKorea => kr_pops[0].1,
             };
             let first_octet = carrier.public_prefix.network().octets()[0];
@@ -467,117 +619,161 @@ pub fn build_world(config: WorldConfig) -> World {
             // the prefix's first member. Regionally right for that member,
             // and distant for the members from other regions sharing the
             // /24 — the paper's mis-association mechanism.
-            let mut seen: std::collections::HashSet<Prefix> =
-                std::collections::HashSet::new();
+            let mut seen: std::collections::HashSet<Prefix> = std::collections::HashSet::new();
             for &(node, addr) in &carrier.external_resolvers {
                 let prefix = Prefix::slash24_of(addr);
                 if seen.insert(prefix) {
-                    cdn.add_prefix_anchor(prefix, net.topo().node(node).coord);
+                    cdn.add_prefix_anchor(prefix, topo.node(node).coord);
                 }
             }
         }
-        let cdn = Arc::new(cdn);
-        let mut adns = AuthoritativeServer::new();
-        for entry in catalog.iter().filter(|e| e.provider == p) {
-            adns.add_dynamic(Box::new(MappingZone::new(
-                entry.zone.clone(),
-                DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
-                    .expect("valid edge suffix"),
-                Arc::clone(&cdn),
-            )));
-        }
-        adns.add_dynamic(Box::new(EdgeZone::new(
-            DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
-                .expect("valid edge zone"),
-            Arc::clone(&cdn),
-        )));
-        net.register_service(adns_node, DNS_PORT, Box::new(adns));
-        for &(node, _) in &replica_nodes {
-            // Index pages of ~16 KiB served over TCP-lite: TTFB pays the
-            // real handshake and the transfer pays segmentation + loss.
-            net.register_service(
-                node,
-                HTTP_PORT,
-                Box::new(TcpHttpServer::new(16 * 1024, SimDuration::from_millis(8))),
-            );
-        }
         cdns.push(CdnNet {
             provider: p,
-            cdn,
+            cdn: Arc::new(cdn),
             replicas: replica_nodes,
             adns: (adns_node, adns_addr),
         });
     }
 
-    // Public DNS recursive resolvers + anycast VIPs.
-    let roots = vec![root_addr];
-    let mut public_dns = Vec::new();
-    for (pd, nodes) in public_built {
-        for site in &pd.sites {
-            let mut cfg = ResolverConfig::new(roots.clone());
-            cfg.egress_addrs = site.egress_addrs.clone();
-            if let Some(period) = config.ambient_period {
-                cfg.ambient = Some(dnssim::cache::AmbientModel {
-                    period,
-                    phase: SimDuration::from_micros(
-                        site.prefix.network().octets()[2] as u64 * 4_999_999,
-                    ),
-                });
-            }
-            net.register_service(site.node, DNS_PORT, Box::new(RecursiveResolver::new(cfg)));
-        }
-        net.add_anycast(pd.vip, nodes);
-        public_dns.push(pd);
-    }
+    let backbone = Arc::new(Backbone {
+        template: topo,
+        catalog,
+        probe_zone,
+        university,
+        roots: vec![root_addr],
+        public_dns,
+        cdns,
+        root: (root_node, built.root),
+        tlds,
+        probe: (probe_node, probe_apex),
+        config,
+    });
 
-    // Carrier services and middleboxes.
-    for carrier in &carriers {
-        install_carrier_services(&mut net, carrier, &roots, config.ambient_period, config.ecs);
-    }
+    // --- Shards ---
+    // Assembled concurrently: each shard's engine, services, and RNG depend
+    // only on the backbone and the carrier index.
+    let shards: Vec<CarrierShard> = std::thread::scope(|scope| {
+        let handles: Vec<_> = carriers
+            .into_iter()
+            .zip(device_groups)
+            .enumerate()
+            .map(|(i, (carrier, devices))| {
+                let backbone = &backbone;
+                scope.spawn(move || make_shard(backbone, i, carrier, devices))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard assembly panicked"))
+            .collect()
+    });
 
-    // Schedule each device's first IP-reassignment.
-    let mut world_rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    World { backbone, shards }
+}
+
+/// Assembles one carrier shard: engine clone + shared services + this
+/// carrier's services/middleboxes, plus the initial bearer-churn schedule.
+fn make_shard(
+    backbone: &Backbone,
+    index: usize,
+    carrier: CarrierNet,
+    mut devices: Vec<Device>,
+) -> CarrierShard {
+    let config = &backbone.config;
+    let mut net = backbone.spawn_engine(index);
+    install_carrier_services(
+        &mut net,
+        &carrier,
+        &backbone.roots,
+        config.ambient_period,
+        config.ecs,
+    );
+
+    // Schedule each device's first IP-reassignment from the shard's own
+    // campaign stream.
+    let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, lane::CAMPAIGN, index as u64));
     for d in devices.iter_mut() {
-        let mean = carriers[d.carrier].profile.ip_reassign_mean.as_micros();
-        let jitter: f64 = -world_rng.gen_range(1e-9_f64..1.0_f64).ln();
+        let mean = carrier.profile.ip_reassign_mean.as_micros();
+        let jitter: f64 = -rng.gen_range(1e-9_f64..1.0_f64).ln();
         d.next_ip_change =
             netsim::SimTime::ZERO + SimDuration::from_micros((mean as f64 * jitter) as u64);
     }
 
-    World {
+    CarrierShard {
+        index,
         net,
-        config,
-        carriers,
+        carrier,
         devices,
-        public_dns,
-        cdns,
-        catalog,
-        probe_zone,
-        university,
-        roots,
-        rng: world_rng,
+        rng,
     }
 }
 
 impl World {
+    /// Configuration the world was built from.
+    pub fn config(&self) -> &WorldConfig {
+        &self.backbone.config
+    }
+
+    /// Number of carriers (= shards).
+    pub fn carrier_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The network plan of one carrier.
+    pub fn carrier(&self, index: usize) -> &CarrierNet {
+        &self.shards[index].carrier
+    }
+
     /// Carrier index by name.
     pub fn carrier_index(&self, name: &str) -> Option<usize> {
-        self.carriers.iter().position(|c| c.profile.name == name)
+        self.shards
+            .iter()
+            .position(|s| s.carrier.profile.name == name)
     }
 
     /// The profile of a carrier.
     pub fn profile(&self, carrier: usize) -> &CarrierProfile {
-        &self.carriers[carrier].profile
+        &self.shards[carrier].carrier.profile
     }
 
-    /// Indices of the devices on one carrier.
+    /// Total device count across all shards.
+    pub fn device_count(&self) -> usize {
+        self.shards.iter().map(|s| s.devices.len()).sum()
+    }
+
+    /// The device with fleet-global index `idx` (devices are numbered
+    /// carrier-major, in shard order).
+    pub fn device(&self, idx: usize) -> &Device {
+        let (shard, local) = self.locate_device(idx);
+        &self.shards[shard].devices[local]
+    }
+
+    /// Maps a fleet-global device index to `(shard, local)` coordinates.
+    pub fn locate_device(&self, idx: usize) -> (usize, usize) {
+        let mut offset = 0;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if idx < offset + shard.devices.len() {
+                return (s, idx - offset);
+            }
+            offset += shard.devices.len();
+        }
+        panic!("device index {idx} out of range ({} devices)", offset);
+    }
+
+    /// Fleet-global indices of the devices on one carrier.
     pub fn devices_of(&self, carrier: usize) -> Vec<usize> {
-        self.devices
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.carrier == carrier)
-            .map(|(i, _)| i)
-            .collect()
+        let offset: usize = self.shards[..carrier].iter().map(|s| s.devices.len()).sum();
+        (offset..offset + self.shards[carrier].devices.len()).collect()
+    }
+
+    /// Node count of the (per-shard) topology.
+    pub fn node_count(&self) -> usize {
+        self.backbone.template.node_count()
+    }
+
+    /// Engine events dispatched across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.net.stats.events).sum()
     }
 }
 
@@ -588,36 +784,71 @@ mod tests {
     #[test]
     fn quick_world_builds() {
         let w = build_world(WorldConfig::quick(7));
-        assert_eq!(w.carriers.len(), 6);
-        assert!(!w.devices.is_empty());
-        assert_eq!(w.public_dns.len(), 2);
-        assert_eq!(w.cdns.len(), 4);
-        assert_eq!(w.catalog.len(), 9);
+        assert_eq!(w.shards.len(), 6);
+        assert!(w.device_count() > 0);
+        assert_eq!(w.backbone.public_dns.len(), 2);
+        assert_eq!(w.backbone.cdns.len(), 4);
+        assert_eq!(w.backbone.catalog.len(), 9);
     }
 
     #[test]
     fn full_world_matches_paper_scale() {
         let w = build_world(WorldConfig::default());
-        assert_eq!(w.devices.len(), 158);
+        assert_eq!(w.device_count(), 158);
         let us_gateways: usize = w
-            .carriers
+            .shards
             .iter()
-            .filter(|c| c.profile.country == Country::Us)
-            .map(|c| c.sites.len())
+            .filter(|s| s.carrier.profile.country == Country::Us)
+            .map(|s| s.carrier.sites.len())
             .sum();
         assert_eq!(us_gateways, 11 + 45 + 62 + 49);
-        assert_eq!(w.public_dns[0].sites.len(), 30);
+        assert_eq!(w.backbone.public_dns[0].sites.len(), 30);
     }
 
     #[test]
     fn world_is_deterministic() {
         let a = build_world(WorldConfig::quick(3));
         let b = build_world(WorldConfig::quick(3));
-        assert_eq!(a.net.topo().node_count(), b.net.topo().node_count());
-        assert_eq!(a.devices.len(), b.devices.len());
-        for (x, y) in a.devices.iter().zip(&b.devices) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.device_count(), b.device_count());
+        for (x, y) in a
+            .shards
+            .iter()
+            .flat_map(|s| &s.devices)
+            .zip(b.shards.iter().flat_map(|s| &s.devices))
+        {
             assert_eq!(x.ip, y.ip);
             assert_eq!(x.configured_dns, y.configured_dns);
         }
+    }
+
+    #[test]
+    fn device_ids_are_fleet_global_and_carrier_major() {
+        let w = build_world(WorldConfig::quick(9));
+        let mut expected = 0usize;
+        for shard in &w.shards {
+            for d in &shard.devices {
+                assert_eq!(d.id, expected);
+                assert_eq!(d.carrier, shard.index);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected, w.device_count());
+        // locate_device inverts the global numbering.
+        for g in 0..w.device_count() {
+            assert_eq!(w.device(g).id, g);
+        }
+    }
+
+    #[test]
+    fn seed_lanes_do_not_alias() {
+        let mut seen = std::collections::HashSet::new();
+        for lane in 0..4u64 {
+            for idx in 0..6u64 {
+                assert!(seen.insert(derive_seed(2014, lane, idx)));
+            }
+        }
+        // Distinct master seeds shift every lane.
+        assert_ne!(derive_seed(1, 0, 0), derive_seed(2, 0, 0));
     }
 }

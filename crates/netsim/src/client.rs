@@ -173,10 +173,7 @@ impl Network {
         let syn = self.udp_request(node, server, HTTP_PORT, b"SYN".to_vec(), PROBE_TIMEOUT);
         let syn_out = self.run_until(syn);
         if !matches!(syn_out.result, FlowResult::Response { .. }) {
-            return HttpReport {
-                server,
-                ttfb: None,
-            };
+            return HttpReport { server, ttfb: None };
         }
         let req = format!("GET {path}");
         let get = self.udp_request(node, server, HTTP_PORT, req.into_bytes(), PROBE_TIMEOUT);
@@ -186,10 +183,7 @@ impl Network {
                 server,
                 ttfb: Some(self.now().since(start)),
             },
-            _ => HttpReport {
-                server,
-                ttfb: None,
-            },
+            _ => HttpReport { server, ttfb: None },
         }
     }
 }
@@ -332,10 +326,34 @@ mod tests {
 
     fn network() -> (Network, NodeId, Ipv4Addr) {
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-        let r1 = t.add_node("r1", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
-        let r2 = t.add_node("r2", NodeKind::Router, Asn(2), Coord::default(), vec![ip(10, 0, 0, 3)]);
-        let b = t.add_node("b", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 0, 4)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
+        let r1 = t.add_node(
+            "r1",
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
+        let r2 = t.add_node(
+            "r2",
+            NodeKind::Router,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 0, 3)],
+        );
+        let b = t.add_node(
+            "b",
+            NodeKind::Host,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 0, 4)],
+        );
         t.add_link(a, r1, LatencyModel::constant_ms(2));
         t.add_link(r1, r2, LatencyModel::constant_ms(3));
         t.add_link(r2, b, LatencyModel::constant_ms(2));

@@ -9,9 +9,9 @@
 
 use crate::packet::{IcmpMsg, Packet, ProbeKey, Transport};
 use crate::route::RouteTable;
-use crate::trace::{TraceEvent, Tracer};
 use crate::time::{SimDuration, SimTime};
 use crate::topo::{NodeId, NodeKind, Topology};
+use crate::trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -132,7 +132,11 @@ pub struct ServiceCtx<'a> {
 /// All datagrams addressed to the service's port are delivered to
 /// [`UdpService::handle`], *including responses to queries the service sent
 /// upstream from that same port* — services are full state machines.
-pub trait UdpService {
+///
+/// Services are `Send` so whole engines (and the services they own) can be
+/// moved across threads — the measurement campaign runs one engine per
+/// carrier shard on a scoped thread pool.
+pub trait UdpService: Send {
     /// Processes one datagram and returns any datagrams to send.
     fn handle(
         &mut self,
@@ -183,13 +187,24 @@ pub struct NetStats {
 enum EventKind {
     /// A packet arriving at a node from the network: full middlebox
     /// processing and TTL handling applies.
-    Arrive { node: NodeId, packet: Packet },
+    Arrive {
+        node: NodeId,
+        packet: Packet,
+    },
     /// A packet originated by the node itself: no TTL decrement and no
     /// middlebox traversal at the origin (hosts do not firewall themselves).
-    Send { node: NodeId, packet: Packet },
+    Send {
+        node: NodeId,
+        packet: Packet,
+    },
     /// Timer tick requested by a service.
-    ServiceTick { node: NodeId, port: u16 },
-    FlowTimeout { flow: FlowId },
+    ServiceTick {
+        node: NodeId,
+        port: u16,
+    },
+    FlowTimeout {
+        flow: FlowId,
+    },
 }
 
 struct Event {
@@ -327,12 +342,7 @@ impl Network {
     }
 
     /// Registers a service on `(node, port)`.
-    pub fn register_service(
-        &mut self,
-        node: NodeId,
-        port: u16,
-        service: Box<dyn UdpService>,
-    ) {
+    pub fn register_service(&mut self, node: NodeId, port: u16, service: Box<dyn UdpService>) {
         let prior = self.services.insert((node, port), service);
         assert!(prior.is_none(), "duplicate service on {node:?}:{port}");
     }
@@ -389,8 +399,7 @@ impl Network {
             } else {
                 p + 1
             };
-            if !self.port_index.contains_key(&(node, p))
-                && !self.services.contains_key(&(node, p))
+            if !self.port_index.contains_key(&(node, p)) && !self.services.contains_key(&(node, p))
             {
                 return p;
             }
@@ -680,7 +689,13 @@ impl Network {
                         transport: Transport::Icmp(IcmpMsg::EchoReply { ident, seq }),
                     };
                     let at = self.now + NODE_PROC_DELAY;
-                    self.schedule(at, EventKind::Send { node, packet: reply });
+                    self.schedule(
+                        at,
+                        EventKind::Send {
+                            node,
+                            packet: reply,
+                        },
+                    );
                 }
             }
             Transport::Icmp(IcmpMsg::EchoReply { ident, .. }) => {
@@ -708,7 +723,9 @@ impl Network {
                 payload,
             } => {
                 if self.services.contains_key(&(node, dst_port)) {
-                    self.dispatch_service(node, dst_port, packet.dst, packet.src, src_port, payload);
+                    self.dispatch_service(
+                        node, dst_port, packet.dst, packet.src, src_port, payload,
+                    );
                 } else if let Some(&flow) = self.port_index.get(&(node, dst_port)) {
                     let from = packet.src;
                     self.complete(flow, FlowResult::Response { from, payload });
@@ -934,10 +951,34 @@ mod tests {
     /// host A -- r1 -- r2 -- host B
     fn line_network() -> (Network, NodeId, NodeId, NodeId, NodeId) {
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-        let r1 = t.add_node("r1", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
-        let r2 = t.add_node("r2", NodeKind::Router, Asn(2), Coord::default(), vec![ip(10, 0, 0, 3)]);
-        let b = t.add_node("b", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 0, 4)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
+        let r1 = t.add_node(
+            "r1",
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
+        let r2 = t.add_node(
+            "r2",
+            NodeKind::Router,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 0, 3)],
+        );
+        let b = t.add_node(
+            "b",
+            NodeKind::Host,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 0, 4)],
+        );
         t.add_link(a, r1, LatencyModel::constant_ms(5));
         t.add_link(r1, r2, LatencyModel::constant_ms(10));
         t.add_link(r2, b, LatencyModel::constant_ms(5));
@@ -1031,10 +1072,34 @@ mod tests {
     #[test]
     fn anycast_routes_to_nearest_instance() {
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-        let r = t.add_node("r", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
-        let near = t.add_node("near", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 1, 1)]);
-        let far = t.add_node("far", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 2, 1)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
+        let r = t.add_node(
+            "r",
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
+        let near = t.add_node(
+            "near",
+            NodeKind::Host,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 1, 1)],
+        );
+        let far = t.add_node(
+            "far",
+            NodeKind::Host,
+            Asn(2),
+            Coord::default(),
+            vec![ip(10, 0, 2, 1)],
+        );
         t.add_link(a, r, LatencyModel::constant_ms(1));
         t.add_link(r, near, LatencyModel::constant_ms(5));
         t.add_link(r, far, LatencyModel::constant_ms(50));
@@ -1053,7 +1118,13 @@ mod tests {
     #[test]
     fn transparent_router_hides_from_traceroute() {
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
         let lsr = t.add_node(
             "mpls",
             NodeKind::TransparentRouter,
@@ -1061,7 +1132,13 @@ mod tests {
             Coord::default(),
             vec![ip(10, 0, 0, 2)],
         );
-        let b = t.add_node("b", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 3)]);
+        let b = t.add_node(
+            "b",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 3)],
+        );
         t.add_link(a, lsr, LatencyModel::constant_ms(1));
         t.add_link(lsr, b, LatencyModel::constant_ms(1));
         let mut net = Network::new(t, 3);
@@ -1095,15 +1172,33 @@ mod tests {
         // 1 Mbit/s link: a 1028-byte datagram serializes in ~8.2 ms; ten
         // of them queue behind each other.
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-        let b = t.add_node("b", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
+        let b = t.add_node(
+            "b",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
         let link = t.add_link(a, b, LatencyModel::constant_ms(1));
         t.set_link_bandwidth(link, Some(1_000_000));
         let mut net = Network::new(t, 5);
         net.register_service(b, 7, Box::new(Parrot));
         let flows: Vec<FlowId> = (0..10)
             .map(|_| {
-                net.udp_request(a, ip(10, 0, 0, 2), 7, vec![0u8; 1000], SimDuration::from_secs(10))
+                net.udp_request(
+                    a,
+                    ip(10, 0, 0, 2),
+                    7,
+                    vec![0u8; 1000],
+                    SimDuration::from_secs(10),
+                )
             })
             .collect();
         let outcomes = net.run_until_all(&flows);

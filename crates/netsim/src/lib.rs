@@ -50,8 +50,8 @@ pub mod packet;
 pub mod route;
 pub mod tcplite;
 pub mod time;
-pub mod trace;
 pub mod topo;
+pub mod trace;
 
 pub use addr::{AddrAllocator, Prefix};
 pub use client::{
@@ -63,6 +63,6 @@ pub use engine::{
 pub use latency::LatencyModel;
 pub use packet::{IcmpMsg, Packet, Transport};
 pub use tcplite::{TcpFetch, TcpHttpServer};
-pub use trace::{TraceEntry, TraceEvent, Tracer};
 pub use time::{SimDuration, SimTime};
 pub use topo::{Asn, Coord, NodeId, NodeKind, Topology};
+pub use trace::{TraceEntry, TraceEvent, Tracer};

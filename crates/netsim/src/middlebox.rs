@@ -65,7 +65,7 @@ pub enum Verdict {
 /// packets travelling *in* are accepted only when they match established
 /// state or an explicit allowance. Packets not crossing the boundary are
 /// always accepted.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Firewall {
     protected: Vec<Prefix>,
     /// Addresses inside the protected range that may receive unsolicited
@@ -166,7 +166,7 @@ impl Firewall {
 
 /// Endpoint-independent NAT translating protected-side sources to a public
 /// address with per-flow identifiers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Nat {
     inside: Vec<Prefix>,
     public_addr: Ipv4Addr,
@@ -233,8 +233,7 @@ impl Nat {
             // Inbound: restore the original destination.
             match &mut packet.transport {
                 Transport::Udp { dst_port, .. } => {
-                    let (orig_addr, orig_port) =
-                        *self.in_map.get(&(Proto::Udp, *dst_port))?;
+                    let (orig_addr, orig_port) = *self.in_map.get(&(Proto::Udp, *dst_port))?;
                     packet.dst = orig_addr;
                     *dst_port = orig_port;
                     Some(packet)
@@ -292,7 +291,10 @@ mod tests {
         let out = Packet::udp(ip(10, 1, 1, 1), 5000, ip(8, 8, 8, 8), 53, vec![]);
         assert_eq!(fw.check(&out, t0), Verdict::Accept);
         let back = Packet::udp(ip(8, 8, 8, 8), 53, ip(10, 1, 1, 1), 5000, vec![]);
-        assert_eq!(fw.check(&back, t0 + SimDuration::from_secs(1)), Verdict::Accept);
+        assert_eq!(
+            fw.check(&back, t0 + SimDuration::from_secs(1)),
+            Verdict::Accept
+        );
     }
 
     #[test]

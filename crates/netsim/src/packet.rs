@@ -111,7 +111,10 @@ impl Packet {
                 self.ttl
             ),
             Transport::Icmp(icmp) => {
-                format!("ICMP {} -> {} {} (ttl {})", self.src, self.dst, icmp, self.ttl)
+                format!(
+                    "ICMP {} -> {} {} (ttl {})",
+                    self.src, self.dst, icmp, self.ttl
+                )
             }
         }
     }

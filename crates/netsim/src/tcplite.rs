@@ -166,11 +166,12 @@ impl TcpHttpServer {
         delay: SimDuration,
         out: &mut Vec<Egress>,
     ) {
-        let Some(response) = &conn.response else { return };
+        let Some(response) = &conn.response else {
+            return;
+        };
         // Sequence 1 is the first response byte (0 was the SYN).
         let total = response.len() as u32;
-        while conn.next_seq - 1 < total
-            && (conn.next_seq - conn.send_base) as usize <= WINDOW * MSS
+        while conn.next_seq - 1 < total && (conn.next_seq - conn.send_base) as usize <= WINDOW * MSS
         {
             let start = (conn.next_seq - 1) as usize;
             let end = (start + MSS).min(response.len());
@@ -283,7 +284,12 @@ impl UdpService for TcpHttpServer {
         let service_time = self.service_time;
         let Some(conn) = self.conns.get_mut(&key) else {
             // No state: reset.
-            out.push(reply(from, from_port, &Segment::ctl(RST, 0, seg.seq), SimDuration::ZERO));
+            out.push(reply(
+                from,
+                from_port,
+                &Segment::ctl(RST, 0, seg.seq),
+                SimDuration::ZERO,
+            ));
             return out;
         };
         // ACK processing.
@@ -447,7 +453,12 @@ impl TcpFetch {
 
     fn send_syn(&mut self, out: &mut Vec<Egress>) {
         let syn = Segment::ctl(SYN, 0, 0);
-        out.push(reply(self.server, self.server_port, &syn, SimDuration::ZERO));
+        out.push(reply(
+            self.server,
+            self.server_port,
+            &syn,
+            SimDuration::ZERO,
+        ));
     }
 
     fn send_request(&mut self, out: &mut Vec<Egress>) {
@@ -458,7 +469,12 @@ impl TcpFetch {
             data: self.request.clone(),
         };
         self.stats.segments_sent += 1;
-        out.push(reply(self.server, self.server_port, &seg, SimDuration::ZERO));
+        out.push(reply(
+            self.server,
+            self.server_port,
+            &seg,
+            SimDuration::ZERO,
+        ));
     }
 
     fn finish(&mut self, success: bool, now: SimTime) {

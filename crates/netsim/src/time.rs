@@ -214,7 +214,13 @@ mod tests {
 
     #[test]
     fn scaling_ops() {
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 2,
+            SimDuration::from_millis(5)
+        );
     }
 }

@@ -82,7 +82,7 @@ pub enum NodeKind {
 }
 
 /// A node and all its static configuration.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Identifier (index into the topology's node vector).
     pub id: NodeId,
@@ -131,7 +131,7 @@ pub struct Link {
 }
 
 /// The static network graph.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
@@ -329,7 +329,10 @@ mod tests {
             "a",
             NodeKind::Host,
             Asn(100),
-            Coord { x_km: 0.0, y_km: 0.0 },
+            Coord {
+                x_km: 0.0,
+                y_km: 0.0,
+            },
             vec![ip(10, 0, 0, 1)],
         );
         let b = t.add_node(
@@ -387,7 +390,10 @@ mod tests {
 
     #[test]
     fn distance_math() {
-        let a = Coord { x_km: 0.0, y_km: 0.0 };
+        let a = Coord {
+            x_km: 0.0,
+            y_km: 0.0,
+        };
         let b = Coord {
             x_km: 3.0,
             y_km: 4.0,
@@ -415,9 +421,27 @@ mod tests {
     #[test]
     fn rewire_link_moves_endpoint() {
         let mut t = Topology::new();
-        let a = t.add_node("a", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-        let b = t.add_node("b", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
-        let c = t.add_node("c", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 3)]);
+        let a = t.add_node(
+            "a",
+            NodeKind::Host,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 1)],
+        );
+        let b = t.add_node(
+            "b",
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 2)],
+        );
+        let c = t.add_node(
+            "c",
+            NodeKind::Router,
+            Asn(1),
+            Coord::default(),
+            vec![ip(10, 0, 0, 3)],
+        );
         let link = t.add_link(a, b, crate::latency::LatencyModel::constant_ms(1));
         t.rewire_link(link, a, c);
         assert_eq!(t.neighbors(a), &[(c, link)]);

@@ -16,8 +16,11 @@ use std::net::Ipv4Addr;
 
 /// A random connected topology: a spanning chain plus random extra edges.
 fn arb_topology() -> impl Strategy<Value = (Topology, usize)> {
-    (2usize..24, proptest::collection::vec((any::<u8>(), any::<u8>(), 1u64..50), 0..30)).prop_map(
-        |(n, extra)| {
+    (
+        2usize..24,
+        proptest::collection::vec((any::<u8>(), any::<u8>(), 1u64..50), 0..30),
+    )
+        .prop_map(|(n, extra)| {
             let mut t = Topology::new();
             let nodes: Vec<NodeId> = (0..n)
                 .map(|i| {
@@ -44,8 +47,7 @@ fn arb_topology() -> impl Strategy<Value = (Topology, usize)> {
                 }
             }
             (t, n)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -163,4 +165,3 @@ proptest! {
         prop_assert_eq!(t.since(t2), SimDuration::ZERO);
     }
 }
-

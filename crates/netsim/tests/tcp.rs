@@ -16,9 +16,27 @@ fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
 /// client -- r -- server with 10 ms per link.
 fn network(page_size: usize, loss: f64, seed: u64) -> (Network, NodeId, Ipv4Addr) {
     let mut t = Topology::new();
-    let client = t.add_node("c", NodeKind::Host, Asn(1), Coord::default(), vec![ip(10, 0, 0, 1)]);
-    let r = t.add_node("r", NodeKind::Router, Asn(1), Coord::default(), vec![ip(10, 0, 0, 2)]);
-    let server = t.add_node("s", NodeKind::Host, Asn(2), Coord::default(), vec![ip(10, 0, 0, 3)]);
+    let client = t.add_node(
+        "c",
+        NodeKind::Host,
+        Asn(1),
+        Coord::default(),
+        vec![ip(10, 0, 0, 1)],
+    );
+    let r = t.add_node(
+        "r",
+        NodeKind::Router,
+        Asn(1),
+        Coord::default(),
+        vec![ip(10, 0, 0, 2)],
+    );
+    let server = t.add_node(
+        "s",
+        NodeKind::Host,
+        Asn(2),
+        Coord::default(),
+        vec![ip(10, 0, 0, 3)],
+    );
     let lossy = t.add_link(client, r, LatencyModel::constant_ms(10));
     t.add_link(r, server, LatencyModel::constant_ms(10));
     t.set_link_loss(lossy, loss);
@@ -110,10 +128,7 @@ fn page_size_scales_transfer_time() {
     };
     let small = fetch(MSS);
     let large = fetch(MSS * 40);
-    assert!(
-        large > small,
-        "larger page not slower: {small} vs {large}"
-    );
+    assert!(large > small, "larger page not slower: {small} vs {large}");
 }
 
 #[test]

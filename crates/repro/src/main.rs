@@ -5,12 +5,16 @@
 //!   repro [all|table1|table2|fig2|fig3|table3|fig4|fig5|fig6|fig7|table4|
 //!          fig8|fig9|fig10|egress|table5|fig11|fig12|fig13|fig14]
 //!         [--scale quick|standard|full] [--seed N] [--out DIR]
-//!         [--ecs] [--era lte|3g]
+//!         [--threads N] [--ecs] [--era lte|3g]
+//!
+//! `--threads N` caps the campaign driver at `N` OS threads (default: one
+//! per carrier shard, capped by the machine). Output is byte-identical for
+//! every thread count.
 //!
 //! Text goes to stdout; CSV series and the raw dataset tables go to the
 //! output directory (default `results/`).
 
-use cdns::measure::{CampaignConfig, ExperimentSpec, WorldConfig};
+use cdns::measure::{CampaignConfig, ExperimentSpec, Parallelism, WorldConfig};
 use cdns::{figures, Study, StudyConfig};
 use std::fs;
 use std::path::PathBuf;
@@ -23,6 +27,7 @@ struct Args {
     out: PathBuf,
     ecs: bool,
     three_g: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut ecs = false;
     let mut three_g = false;
+    let mut threads = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -57,8 +63,16 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
-                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR]".into());
+                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N]".into());
             }
             other => targets.push(other.to_string()),
         }
@@ -73,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         ecs,
         three_g,
+        threads,
     })
 }
 
@@ -94,6 +109,7 @@ fn config_for(scale: &str, seed: u64) -> Result<StudyConfig, String> {
                 spec: ExperimentSpec::default(),
                 external_probe_day: Some(75),
             },
+            parallelism: Parallelism::Auto,
         }),
         other => Err(format!("unknown scale '{other}' (quick|standard|full)")),
     }
@@ -116,6 +132,9 @@ fn main() {
     };
     config.world.ecs = args.ecs;
     config.world.three_g_era = args.three_g;
+    if let Some(n) = args.threads {
+        config.parallelism = Parallelism::Threads(n);
+    }
     if args.ecs {
         eprintln!("repro: ECS (RFC 7871) deployment enabled");
     }
@@ -130,12 +149,13 @@ fn main() {
     let t0 = Instant::now();
     let mut study = Study::new(config);
     eprintln!(
-        "repro: world ready ({} nodes) in {:.1}s; running campaign ({} days x {}/day x {} devices) ...",
-        study.world.net.topo().node_count(),
+        "repro: world ready ({} nodes) in {:.1}s; running campaign ({} days x {}/day x {} devices, {} threads) ...",
+        study.world.node_count(),
         t0.elapsed().as_secs_f64(),
         study.campaign.days,
         study.campaign.experiments_per_day,
-        study.world.devices.len(),
+        study.world.device_count(),
+        study.parallelism.resolve(study.world.carrier_count()),
     );
     let t1 = Instant::now();
     let dataset = study.run();
@@ -144,7 +164,7 @@ fn main() {
         t1.elapsed().as_secs_f64(),
         dataset.records.len(),
         dataset.resolution_count(),
-        study.world.net.stats.events,
+        study.world.total_events(),
     );
 
     if let Err(e) = fs::create_dir_all(&args.out) {

@@ -16,10 +16,8 @@ fn main() {
     let Some(carrier_idx) = world.carrier_index(&carrier_name) else {
         eprintln!(
             "unknown carrier '{carrier_name}'; try: {}",
-            world
-                .carriers
-                .iter()
-                .map(|c| c.profile.name)
+            (0..world.carrier_count())
+                .map(|i| world.profile(i).name)
                 .collect::<Vec<_>>()
                 .join(", ")
         );
@@ -29,16 +27,17 @@ fn main() {
 
     // 1. whoami probes from every device of this carrier reveal the
     //    external-facing resolvers behind the configured address.
-    let device_idxs = world.devices_of(carrier_idx);
-    let probe_zone = world.probe_zone.clone();
+    let probe_zone = world.backbone.probe_zone.clone();
+    let shard = &mut world.shards[carrier_idx];
+    let device_count = shard.devices.len();
     let mut pairs: HashMap<(std::net::Ipv4Addr, std::net::Ipv4Addr), usize> = HashMap::new();
-    for &di in &device_idxs {
+    for di in 0..device_count {
         let (node, configured) = {
-            let d = &world.devices[di];
+            let d = &shard.devices[di];
             (d.node, d.configured_dns)
         };
         for _ in 0..6 {
-            let (_, ext) = whoami(&mut world.net, node, configured, &probe_zone);
+            let (_, ext) = whoami(&mut shard.net, node, configured, &probe_zone);
             if let Some(ext) = ext {
                 *pairs.entry((configured, ext)).or_insert(0) += 1;
             }
@@ -59,12 +58,11 @@ fn main() {
     );
 
     // 2. Resolver distance from the device (Fig. 4's measurement).
-    let &di = device_idxs.first().expect("carrier has devices");
     let (node, configured) = {
-        let d = &world.devices[di];
+        let d = shard.devices.first().expect("carrier has devices");
         (d.node, d.configured_dns)
     };
-    let cf_ping = world.net.ping_train(node, configured, 3);
+    let cf_ping = shard.net.ping_train(node, configured, 3);
     println!(
         "ping configured resolver {}: {}",
         configured,
@@ -74,7 +72,7 @@ fn main() {
             .unwrap_or_else(|| "no answer".into())
     );
     if let Some(&ext) = externals.iter().next() {
-        let ext_ping = world.net.ping_train(node, ext, 3);
+        let ext_ping = shard.net.ping_train(node, ext, 3);
         println!(
             "ping external resolver   {}: {}",
             ext,
@@ -88,19 +86,20 @@ fn main() {
     // 3. Opaqueness: the same resolvers probed from a university vantage
     //    point outside the carrier (Table 4's experiment).
     println!("\nFrom the university vantage point (outside the carrier):");
-    let university = world.university;
+    let university = world.backbone.university;
     let mut ping_ok = 0;
     let mut trace_ok = 0;
-    let ext_list: Vec<_> = world.carriers[carrier_idx]
+    let ext_list: Vec<_> = shard
+        .carrier
         .external_resolvers
         .iter()
         .map(|&(_, a)| a)
         .collect();
     for &addr in &ext_list {
-        if world.net.ping_train(university, addr, 2).reachable() {
+        if shard.net.ping_train(university, addr, 2).reachable() {
             ping_ok += 1;
         }
-        if world.net.traceroute(university, addr, 16).reached {
+        if shard.net.traceroute(university, addr, 16).reached {
             trace_ok += 1;
         }
     }
@@ -113,13 +112,15 @@ fn main() {
 
     // 4. Show one blocked probe's journey with the packet tracer.
     if let Some(&target) = ext_list.first() {
-        println!("
-Packet trace of one university ping into the carrier:");
-        world.net.tracer.enable(32);
-        let _ = world.net.ping_train(university, target, 1);
-        for entry in world.net.tracer.entries() {
+        println!(
+            "
+Packet trace of one university ping into the carrier:"
+        );
+        shard.net.tracer.enable(32);
+        let _ = shard.net.ping_train(university, target, 1);
+        for entry in shard.net.tracer.entries() {
             println!("  {entry}");
         }
-        world.net.tracer.disable();
+        shard.net.tracer.disable();
     }
 }

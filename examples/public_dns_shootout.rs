@@ -7,8 +7,8 @@
 use behind_the_curtain::analysis::{
     public_equal_or_better, relative_replica_latency, resolution_cdf,
 };
-use behind_the_curtain::measure::{run_campaign, CampaignConfig, ResolverKind};
 use behind_the_curtain::measure::{build_world, WorldConfig};
+use behind_the_curtain::measure::{run_campaign, CampaignConfig, ResolverKind};
 
 fn main() {
     let mut world = build_world(WorldConfig::quick(31));
@@ -16,7 +16,7 @@ fn main() {
     println!(
         "Running a {}-day campaign on {} devices...\n",
         cfg.days,
-        world.devices.len()
+        world.device_count()
     );
     let ds = run_campaign(&mut world, &cfg);
 

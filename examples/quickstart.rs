@@ -11,9 +11,9 @@ fn main() {
     let mut study = Study::new(StudyConfig::quick(2014));
     println!(
         "world: {} nodes, {} devices across {} carriers",
-        study.world.net.topo().node_count(),
-        study.world.devices.len(),
-        study.world.carriers.len(),
+        study.world.node_count(),
+        study.world.device_count(),
+        study.world.carrier_count(),
     );
 
     let dataset = study.run();
@@ -31,11 +31,8 @@ fn main() {
     // equal or better than the carrier's own choice.
     println!("Public DNS replica quality vs carrier DNS (abstract's claim):");
     for c in 0..dataset.carrier_names.len() {
-        let frac = behind_the_curtain::analysis::public_equal_or_better(
-            &dataset,
-            c,
-            ResolverKind::Google,
-        );
+        let frac =
+            behind_the_curtain::analysis::public_equal_or_better(&dataset, c, ResolverKind::Google);
         println!(
             "  {:<12} google replicas equal-or-better {:.0}% of the time",
             dataset.carrier_names[c],

@@ -15,10 +15,10 @@ fn main() {
     let mut world = build_world(WorldConfig::quick(99));
     let spec = ExperimentSpec::light();
     let device_idx = 0;
-    let carrier = world.devices[device_idx].carrier;
+    let carrier = world.device(device_idx).carrier;
     println!(
         "Following device 0 on {} for 7 simulated days (one experiment per 4h)\n",
-        world.carriers[carrier].profile.name
+        world.profile(carrier).name
     );
 
     // replica -> (sum_ms, count) for best-replica accounting.
@@ -26,7 +26,7 @@ fn main() {
     println!("day  ext-resolver      ext /24           buzzfeed replicas (via carrier DNS)");
     for step in 0..(7 * 6) {
         let t = SimTime::ZERO + SimDuration::from_hours(4 * step as u64);
-        world.net.skip_to(t);
+        world.shards[0].net.skip_to(t);
         let record = run_experiment(&mut world, device_idx, step, &spec);
         let ext = record.local_external();
         let buzz_idx = 1u8; // www.buzzfeed.com in the catalog
@@ -71,11 +71,7 @@ fn main() {
         .iter()
         .map(|(&a, &(sum, n))| (a, sum / n as f64))
         .collect();
-    if let Some(best) = means
-        .iter()
-        .map(|&(_, m)| m)
-        .reduce(f64::min)
-    {
+    if let Some(best) = means.iter().map(|&(_, m)| m).reduce(f64::min) {
         println!("\nReplicas seen for www.buzzfeed.com and their inflation vs the best:");
         let mut sorted = means.clone();
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));

@@ -19,44 +19,57 @@ fn world_with(ecs: bool, seed: u64) -> behind_the_curtain::measure::World {
 fn ecs_resolution_returns_the_site_accurate_replicas() {
     let mut w = world_with(true, 4242);
     let (node, configured, site) = {
-        let d = &w.devices[0];
+        let d = w.device(0);
         (d.node, d.configured_dns, d.site)
     };
-    let carrier = w.devices[0].carrier;
-    let egress = w.carriers[carrier].sites[site].egress_addr;
+    let carrier = w.device(0).carrier;
+    let egress = w.carrier(carrier).sites[site].egress_addr;
     let domain = DnsName::parse("www.buzzfeed.com").unwrap();
-    let lookup = resolve(&mut w.net, node, configured, &domain, RecordType::A);
+    let lookup = resolve(
+        &mut w.shards[0].net,
+        node,
+        configured,
+        &domain,
+        RecordType::A,
+    );
     assert!(lookup.ok());
     // The answer must match what the CDN would pick for the client's egress
     // subnet — i.e. the mapping keyed on the *client*, not the resolver.
     let provider = w
+        .backbone
         .catalog
         .iter()
         .find(|e| e.domain == domain)
         .expect("in catalog")
         .provider;
-    let expected = w.cdns[provider].cdn.select(egress);
+    let expected = w.backbone.cdns[provider].cdn.select(egress);
     let mut got = lookup.addrs();
     let mut want = expected.clone();
     got.sort();
     want.sort();
     assert_eq!(got, want, "ECS answer != client-subnet selection");
-    assert!(w.cdns[provider].cdn.is_measured(egress));
+    assert!(w.backbone.cdns[provider].cdn.is_measured(egress));
 }
 
 #[test]
 fn without_ecs_selection_keys_on_the_resolver() {
     let mut w = world_with(false, 4242);
     let (node, configured, site) = {
-        let d = &w.devices[0];
+        let d = w.device(0);
         (d.node, d.configured_dns, d.site)
     };
-    let carrier = w.devices[0].carrier;
-    let egress = w.carriers[carrier].sites[site].egress_addr;
+    let carrier = w.device(0).carrier;
+    let egress = w.carrier(carrier).sites[site].egress_addr;
     // Baseline world: the CDN has no knowledge of egress subnets.
-    assert!(!w.cdns[0].cdn.is_measured(egress));
+    assert!(!w.backbone.cdns[0].cdn.is_measured(egress));
     let domain = DnsName::parse("www.buzzfeed.com").unwrap();
-    let lookup = resolve(&mut w.net, node, configured, &domain, RecordType::A);
+    let lookup = resolve(
+        &mut w.shards[0].net,
+        node,
+        configured,
+        &domain,
+        RecordType::A,
+    );
     assert!(lookup.ok());
 }
 
@@ -70,11 +83,18 @@ fn ecs_partitions_the_resolver_cache_by_subnet() {
     let mut answers = std::collections::HashMap::new();
     let domain = DnsName::parse("m.yelp.com").unwrap();
     for &di in device_idxs.iter().take(6) {
+        let (shard, local) = w.locate_device(di);
         let (node, configured, site) = {
-            let d = &w.devices[di];
+            let d = &w.shards[shard].devices[local];
             (d.node, d.configured_dns, d.site)
         };
-        let lookup = resolve(&mut w.net, node, configured, &domain, RecordType::A);
+        let lookup = resolve(
+            &mut w.shards[shard].net,
+            node,
+            configured,
+            &domain,
+            RecordType::A,
+        );
         assert!(lookup.ok());
         let mut addrs = lookup.addrs();
         addrs.sort();

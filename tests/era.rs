@@ -4,8 +4,7 @@
 use behind_the_curtain::analysis::{egress_points, resolution_cdf, Cdf};
 use behind_the_curtain::cellsim::RadioTech;
 use behind_the_curtain::measure::{
-    build_world, run_campaign, CampaignConfig, Dataset, ExperimentSpec, ResolverKind,
-    WorldConfig,
+    build_world, run_campaign, CampaignConfig, Dataset, ExperimentSpec, ResolverKind, WorldConfig,
 };
 
 fn campaign(three_g: bool) -> Dataset {

@@ -2,6 +2,10 @@
 //! campaign): end-to-end resolution through carrier tiers, middlebox
 //! semantics across the assembled topology, anycast behaviour, and CDN
 //! mapping properties.
+//!
+//! Device-level traffic runs on the device's own carrier shard (device 0
+//! lives on shard 0); backbone knowledge tables are read through
+//! `world.backbone`.
 
 use behind_the_curtain::dnssim::client::{resolve, whoami};
 use behind_the_curtain::dnswire::name::DnsName;
@@ -21,13 +25,18 @@ fn n(s: &str) -> DnsName {
 fn device_resolves_every_catalog_domain_via_all_resolvers() {
     let mut w = world();
     let (node, configured) = {
-        let d = &w.devices[0];
+        let d = w.device(0);
         (d.node, d.configured_dns)
     };
-    let domains: Vec<DnsName> = w.catalog.iter().map(|e| e.domain.clone()).collect();
+    let domains: Vec<DnsName> = w
+        .backbone
+        .catalog
+        .iter()
+        .map(|e| e.domain.clone())
+        .collect();
     for resolver in [configured, GOOGLE_VIP, OPENDNS_VIP] {
         for domain in &domains {
-            let lookup = resolve(&mut w.net, node, resolver, domain, RecordType::A);
+            let lookup = resolve(&mut w.shards[0].net, node, resolver, domain, RecordType::A);
             assert!(
                 lookup.ok() && !lookup.addrs().is_empty(),
                 "{domain} via {resolver} failed: {lookup:?}"
@@ -40,11 +49,11 @@ fn device_resolves_every_catalog_domain_via_all_resolvers() {
 fn cdn_answers_carry_cname_and_short_ttls() {
     let mut w = world();
     let (node, configured) = {
-        let d = &w.devices[0];
+        let d = w.device(0);
         (d.node, d.configured_dns)
     };
     let lookup = resolve(
-        &mut w.net,
+        &mut w.shards[0].net,
         node,
         configured,
         &n("www.buzzfeed.com"),
@@ -71,8 +80,9 @@ fn replicas_returned_differ_between_resolver_slash24s() {
     // The /24-keyed mapping: two resolvers in different /24s usually get
     // different replica sets for the same domain.
     let w = world();
-    let cdn = &w.cdns[0].cdn;
-    let ext: Vec<_> = w.carriers[0]
+    let cdn = &w.backbone.cdns[0].cdn;
+    let ext: Vec<_> = w
+        .carrier(0)
         .external_resolvers
         .iter()
         .map(|&(_, a)| a)
@@ -93,11 +103,11 @@ fn replicas_returned_differ_between_resolver_slash24s() {
 #[test]
 fn public_dns_sites_are_measured_carrier_blocks_are_not() {
     let w = world();
-    let cdn = &w.cdns[0].cdn;
-    for site in &w.public_dns[0].sites {
+    let cdn = &w.backbone.cdns[0].cdn;
+    for site in &w.backbone.public_dns[0].sites {
         assert!(cdn.is_measured(site.egress_addrs[0]));
     }
-    for &(_, addr) in &w.carriers[0].external_resolvers {
+    for &(_, addr) in &w.carrier(0).external_resolvers {
         assert!(!cdn.is_measured(addr), "{addr} should be unmeasurable");
     }
 }
@@ -105,15 +115,15 @@ fn public_dns_sites_are_measured_carrier_blocks_are_not() {
 #[test]
 fn whoami_via_public_dns_reveals_site_egress_not_vip() {
     let mut w = world();
-    let node = w.devices[0].node;
-    let probe_zone = w.probe_zone.clone();
-    let (lookup, ext) = whoami(&mut w.net, node, GOOGLE_VIP, &probe_zone);
+    let node = w.device(0).node;
+    let probe_zone = w.backbone.probe_zone.clone();
+    let (lookup, ext) = whoami(&mut w.shards[0].net, node, GOOGLE_VIP, &probe_zone);
     assert!(lookup.ok());
     let ext = ext.expect("external discovered");
     assert_ne!(ext, GOOGLE_VIP);
     // The discovered address belongs to one of the Google site /24s.
     assert!(
-        w.public_dns[0]
+        w.backbone.public_dns[0]
             .sites
             .iter()
             .any(|s| s.prefix.contains(ext)),
@@ -124,31 +134,30 @@ fn whoami_via_public_dns_reveals_site_egress_not_vip() {
 #[test]
 fn devices_behind_nat_expose_only_gateway_addresses() {
     let mut w = world();
-    let device_ip = w.devices[0].ip;
-    let carrier = w.devices[0].carrier;
+    let device_ip = w.device(0).ip;
+    let node = w.device(0).node;
     // The device's private address must never be reachable from outside.
-    let uni = w.university;
-    let report = w.net.ping_train(uni, device_ip, 2);
+    let uni = w.backbone.university;
+    let uni_addr = w.shards[0].net.topo().node(uni).primary_addr();
+    let report = w.shards[0].net.ping_train(uni, device_ip, 2);
     assert!(!report.reachable(), "device pingable from the internet");
     // But the device can reach out, via its gateway's public address.
-    let node = w.devices[0].node;
-    let out = w.net.ping_train(node, w.net.topo().node(uni).primary_addr(), 2);
+    let out = w.shards[0].net.ping_train(node, uni_addr, 2);
     assert!(out.reachable(), "device cannot reach the internet");
-    let _ = carrier;
 }
 
 #[test]
 fn device_traceroute_shows_egress_then_backbone_and_hides_the_core() {
     let mut w = world();
-    let node = w.devices[0].node;
-    let carrier = w.devices[0].carrier;
-    let replica = w.cdns[0].replicas[0].1;
-    let trace = w.net.traceroute(node, replica, 20);
+    let node = w.device(0).node;
+    let carrier = w.device(0).carrier;
+    let replica = w.backbone.cdns[0].replicas[0].1;
+    let trace = w.shards[0].net.traceroute(node, replica, 20);
     assert!(trace.reached, "replica unreachable: {trace:?}");
     let hops = trace.responding_hops();
     // First responding hop is the carrier egress (the MPLS core before it
     // is silent), then backbone/replica addresses.
-    let public = w.carriers[carrier].public_prefix;
+    let public = w.carrier(carrier).public_prefix;
     assert!(
         public.contains(hops[0]),
         "first hop {} not a carrier address",
@@ -164,17 +173,17 @@ fn device_traceroute_shows_egress_then_backbone_and_hides_the_core() {
 fn google_anycast_latency_tracks_nearest_site() {
     let mut w = world();
     // Per-device VIP ping should be close to the best unicast site ping.
-    let node = w.devices[0].node;
-    let vip = w.net.ping_train(node, GOOGLE_VIP, 3);
+    let node = w.device(0).node;
+    let vip = w.shards[0].net.ping_train(node, GOOGLE_VIP, 3);
     let vip_rtt = vip.min_rtt().expect("vip answers").as_millis_f64();
-    let best_site = w.public_dns[0]
+    let best_site = w.backbone.public_dns[0]
         .sites
         .iter()
         .map(|s| s.egress_addrs[0])
         .collect::<Vec<_>>();
     let mut best = f64::MAX;
     for addr in best_site {
-        if let Some(r) = w.net.ping_train(node, addr, 1).min_rtt() {
+        if let Some(r) = w.shards[0].net.ping_train(node, addr, 1).min_rtt() {
             best = best.min(r.as_millis_f64());
         }
     }
@@ -191,10 +200,10 @@ fn world_scales_with_config() {
         seed: 1,
         ..WorldConfig::default()
     });
-    assert!(full.devices.len() > small.devices.len() * 4);
+    assert!(full.device_count() > small.device_count() * 4);
     assert!(
-        full.net.topo().node_count() > small.net.topo().node_count(),
+        full.node_count() > small.node_count(),
         "full world not larger"
     );
-    assert_eq!(full.devices.len(), 158);
+    assert_eq!(full.device_count(), 158);
 }

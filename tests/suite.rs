@@ -105,7 +105,10 @@ fn cellular_opaqueness_table4() {
     assert_eq!(get("SK Telecom").ping, 0);
     assert_eq!(get("LG U+").ping, 0);
     let att = get("AT&T");
-    assert!(att.ping > 0 && att.ping * 4 < att.total, "AT&T small fraction");
+    assert!(
+        att.ping > 0 && att.ping * 4 < att.total,
+        "AT&T small fraction"
+    );
 }
 
 #[test]
@@ -122,7 +125,10 @@ fn local_dns_resolves_faster_than_public_at_median() {
             local_wins += 1;
         }
     }
-    assert!(local_wins >= 4, "local faster in only {local_wins}/6 carriers");
+    assert!(
+        local_wins >= 4,
+        "local faster in only {local_wins}/6 carriers"
+    );
 }
 
 #[test]
@@ -174,7 +180,9 @@ fn resolver_churn_happens_even_without_movement() {
     use behind_the_curtain::analysis::{busiest_static_device, static_location_enumeration};
     let mut churned = 0;
     for c in 0..6 {
-        let Some(dev) = busiest_static_device(ds, c) else { continue };
+        let Some(dev) = busiest_static_device(ds, c) else {
+            continue;
+        };
         let points = static_location_enumeration(ds, dev, 1.0);
         let ips = points.iter().map(|p| p.ip_index).max().unwrap_or(0);
         if ips > 1 {

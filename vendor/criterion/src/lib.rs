@@ -1,0 +1,176 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the workspace's benches use —
+//! `Criterion::{bench_function, benchmark_group}`, groups with
+//! `throughput`/`sample_size`/`finish`, `Bencher::{iter, iter_with_setup}`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window; mean ns/iter (plus
+//! throughput, when set) is printed to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured throughput units for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by `iter`.
+    mean_s: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: run until ~50 ms elapse to pick an
+        // iteration count for the measurement window.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        // Measurement window: ~250 ms, at least 5 iterations.
+        let iters = ((0.25 / per_iter.max(1e-9)) as u64).clamp(5, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// timing only approximately: per-batch, like criterion's
+    /// `BatchSize::PerIteration`).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Keep the timed portion close to the plain-iter window.
+        while total < Duration::from_millis(250) && iters < 5_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_s = total.as_secs_f64() / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, mean_s: f64, throughput: Option<Throughput>) {
+    let ns = mean_s * 1e9;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  ({:.1} MiB/s)", b as f64 / mean_s / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!("  ({:.0} elem/s)", n as f64 / mean_s),
+        None => String::new(),
+    };
+    println!("{name:<50} {human:>12}/iter{rate}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_s: 0.0 };
+        f(&mut b);
+        report(name, b.mean_s, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes its own windows.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_s: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name),
+            b.mean_s,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` over group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

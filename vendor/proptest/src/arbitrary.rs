@@ -1,0 +1,44 @@
+//! `Arbitrary` and `any::<T>()`.
+
+use crate::strategy::{AnyOf, Strategy};
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// That strategy's type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyOf(PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = AnyOf<[u8; N]>;
+    fn arbitrary() -> Self::Strategy {
+        AnyOf(PhantomData)
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    type Strategy = crate::sample::IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        crate::sample::IndexStrategy
+    }
+}

@@ -1,0 +1,28 @@
+//! `prop::sample`: the `Index` helper.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A position into a collection whose size is unknown at generation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(pub(crate) usize);
+
+impl Index {
+    /// Resolves against a collection of `len` elements. `len` must be > 0.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+/// Strategy producing [`Index`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn new_value(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen::<u64>() as usize)
+    }
+}

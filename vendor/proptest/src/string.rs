@@ -1,0 +1,225 @@
+//! `string_regex`: generates strings matching a small regex subset.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! `[a-z0-9_-]` (ranges and literals; `-` last is literal), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded forms capped at 8
+//! repeats). Alternation, groups, and anchors are not supported — the
+//! workspace's patterns do not use them.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Pattern-compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+/// One regex element: a set of candidate chars and a repeat range.
+#[derive(Debug, Clone)]
+struct Elem {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy producing strings that match the compiled pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    elems: Vec<Elem>,
+}
+
+/// Compiles `pattern` into a generator strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut elems = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => {
+                let e = chars
+                    .next()
+                    .ok_or_else(|| Error("dangling escape".into()))?;
+                vec![unescape(e)]
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("unsupported regex construct: {c}")))
+            }
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        elems.push(Elem {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    Ok(RegexGeneratorStrategy { elems })
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| Error("unterminated character class".into()))?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                if set.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(set);
+            }
+            '-' => {
+                // A range if we have a pending start and a following end;
+                // literal '-' otherwise (e.g. `[a-z-]`).
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(start), Some(end)) if end != ']' => {
+                        chars.next();
+                        if start > end {
+                            return Err(Error(format!("invalid range {start}-{end}")));
+                        }
+                        set.extend(start..=end);
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            set.push(p);
+                        }
+                        set.push('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                let e = chars
+                    .next()
+                    .ok_or_else(|| Error("dangling escape in class".into()))?;
+                pending = Some(unescape(e));
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let lo = lo.trim().parse().map_err(|_| bad(&body))?;
+                            let hi = if hi.trim().is_empty() {
+                                lo + 8
+                            } else {
+                                hi.trim().parse().map_err(|_| bad(&body))?
+                            };
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = body.trim().parse().map_err(|_| bad(&body))?;
+                            (n, n)
+                        }
+                    };
+                    if lo > hi {
+                        return Err(bad(&body));
+                    }
+                    return Ok((lo, hi));
+                }
+                body.push(c);
+            }
+            Err(Error("unterminated quantifier".into()))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn bad(body: &str) -> Error {
+    Error(format!("invalid quantifier {{{body}}}"))
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for elem in &self.elems {
+            let n = rng.gen_range(elem.min..=elem.max);
+            for _ in 0..n {
+                out.push(elem.chars[rng.gen_range(0..elem.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let s = string_regex("[a-z0-9_][a-z0-9_-]{0,14}").unwrap();
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = s.new_value(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 15, "{v:?}");
+            let mut cs = v.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first.is_ascii_digit() || first == '_');
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-',
+                    "{v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class_covers_space_to_tilde() {
+        let s = string_regex("[ -~]{0,40}").unwrap();
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() <= 40);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The case runner: seeded, deterministic, no shrinking.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG strategies draw from.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `body`. The RNG seed derives from
+/// the test name (override with `PROPTEST_SEED`), so failures reproduce.
+pub fn run_cases(config: &ProptestConfig, name: &str, body: impl Fn(&mut TestRng)) {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut rng = TestRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest '{name}': case {case}/{} failed (seed {seed}; \
+                 rerun with PROPTEST_SEED={seed})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
