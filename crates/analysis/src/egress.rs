@@ -5,13 +5,13 @@
 
 use measure::record::Dataset;
 use netsim::addr::Prefix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// All egress points observed for one carrier across the traceroute corpus.
-pub fn egress_points(ds: &Dataset, carrier: usize) -> HashSet<Ipv4Addr> {
+pub fn egress_points(ds: &Dataset, carrier: usize) -> BTreeSet<Ipv4Addr> {
     let inside = ds.carrier_public.get(carrier).copied();
-    let mut points = HashSet::new();
+    let mut points = BTreeSet::new();
     for r in ds.of_carrier(carrier) {
         for p in &r.replica_probes {
             if let Some(e) = egress_of_trace(&p.trace_hops, inside) {

@@ -3,7 +3,7 @@
 
 use measure::record::{Dataset, ResolverKind};
 use netsim::addr::Prefix;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Table 3 row: the LDNS pair structure of one carrier.
@@ -24,7 +24,7 @@ pub struct LdnsPairSummary {
 /// Computes the Table 3 row for one carrier.
 pub fn ldns_pairs(ds: &Dataset, carrier: usize) -> LdnsPairSummary {
     // (client-facing) -> external -> count
-    let mut by_cf: HashMap<Ipv4Addr, HashMap<Ipv4Addr, usize>> = HashMap::new();
+    let mut by_cf: BTreeMap<Ipv4Addr, BTreeMap<Ipv4Addr, usize>> = BTreeMap::new();
     for r in ds.of_carrier(carrier) {
         for id in &r.identities {
             if id.resolver == ResolverKind::Local {
@@ -38,7 +38,7 @@ pub fn ldns_pairs(ds: &Dataset, carrier: usize) -> LdnsPairSummary {
             }
         }
     }
-    let mut externals: HashSet<Ipv4Addr> = HashSet::new();
+    let mut externals: BTreeSet<Ipv4Addr> = BTreeSet::new();
     let mut pairs = 0usize;
     let mut total = 0usize;
     let mut dominant = 0usize;
@@ -176,8 +176,8 @@ pub fn static_location_enumeration(ds: &Dataset, device_id: u32, radius_km: f64)
 /// Table 5 cell: distinct resolver IPs and /24s observed from a carrier via
 /// one resolver path.
 pub fn resolver_counts(ds: &Dataset, carrier: usize, kind: ResolverKind) -> (usize, usize) {
-    let mut ips: HashSet<Ipv4Addr> = HashSet::new();
-    let mut prefixes: HashSet<Prefix> = HashSet::new();
+    let mut ips: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut prefixes: BTreeSet<Prefix> = BTreeSet::new();
     for r in ds.of_carrier(carrier) {
         for id in &r.identities {
             if id.resolver == kind {

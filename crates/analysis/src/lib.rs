@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `analysis` — the paper's analysis toolkit: empirical CDFs, resolution

@@ -5,7 +5,7 @@
 use crate::cdf::Cdf;
 use measure::record::{Dataset, ResolverKind};
 use netsim::addr::Prefix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// A replica usage map: for one observer (user or resolver), the fraction
@@ -13,7 +13,7 @@ use std::net::Ipv4Addr;
 /// `<(ip₁, ratio₁), …, (ipₙ, ratioₙ)>` vector.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ReplicaMap {
-    counts: HashMap<Ipv4Addr, usize>,
+    counts: BTreeMap<Ipv4Addr, usize>,
     total: usize,
 }
 
@@ -81,7 +81,7 @@ impl ReplicaMap {
 /// the best replica that user ever saw. One sample per (user, replica).
 pub fn replica_percent_increase(ds: &Dataset, carrier: usize, domain_idx: u8) -> Cdf {
     // user -> replica -> (sum_us, n)
-    let mut per_user: HashMap<u32, HashMap<Ipv4Addr, (u64, u32)>> = HashMap::new();
+    let mut per_user: BTreeMap<u32, BTreeMap<Ipv4Addr, (u64, u32)>> = BTreeMap::new();
     for r in ds.of_carrier(carrier) {
         for p in &r.replica_probes {
             if p.domain_idx != domain_idx || p.via != ResolverKind::Local {
@@ -125,8 +125,8 @@ pub fn resolver_replica_maps(
     ds: &Dataset,
     carrier: usize,
     domain_idx: u8,
-) -> HashMap<Ipv4Addr, ReplicaMap> {
-    let mut maps: HashMap<Ipv4Addr, ReplicaMap> = HashMap::new();
+) -> BTreeMap<Ipv4Addr, ReplicaMap> {
+    let mut maps: BTreeMap<Ipv4Addr, ReplicaMap> = BTreeMap::new();
     for r in ds.of_carrier(carrier) {
         let Some(ext) = r.local_external() else {
             continue;
@@ -145,7 +145,7 @@ pub fn resolver_replica_maps(
 
 /// Fig. 10: cosine similarities of replica maps between resolver pairs in
 /// the same /24 and pairs in different /24s.
-pub fn cosine_by_prefix(maps: &HashMap<Ipv4Addr, ReplicaMap>) -> (Cdf, Cdf) {
+pub fn cosine_by_prefix(maps: &BTreeMap<Ipv4Addr, ReplicaMap>) -> (Cdf, Cdf) {
     let resolvers: Vec<(&Ipv4Addr, &ReplicaMap)> = maps.iter().collect();
     let mut same = Vec::new();
     let mut diff = Vec::new();
@@ -172,7 +172,7 @@ pub fn relative_replica_latency(ds: &Dataset, carrier: usize, public: ResolverKi
     let mut samples = Vec::new();
     for r in ds.of_carrier(carrier) {
         // Best latency per /24 across the experiment's probes.
-        let mut by_prefix: HashMap<Prefix, u32> = HashMap::new();
+        let mut by_prefix: BTreeMap<Prefix, u32> = BTreeMap::new();
         let mut domains: Vec<u8> = Vec::new();
         for p in &r.replica_probes {
             if !domains.contains(&p.domain_idx) {

@@ -21,7 +21,7 @@ pub fn carrier_report(ds: &Dataset, carrier: usize) -> String {
     let _ = writeln!(out, "=== Carrier profile: {name} ===");
 
     // Fleet and volume.
-    let devices: std::collections::HashSet<u32> =
+    let devices: std::collections::BTreeSet<u32> =
         ds.of_carrier(carrier).map(|r| r.device_id).collect();
     let experiments = ds.of_carrier(carrier).count();
     let _ = writeln!(

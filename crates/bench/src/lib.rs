@@ -1,6 +1,8 @@
 //! Shared helpers for the Criterion benchmark suite: a lazily-built quick
 //! campaign dataset reused by the per-figure and per-table benches.
 
+#![forbid(unsafe_code)]
+
 use cdns::measure::record::Dataset;
 use cdns::{Study, StudyConfig};
 use std::sync::OnceLock;

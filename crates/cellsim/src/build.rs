@@ -181,8 +181,8 @@ impl CarrierNet {
     /// The RFC 7871 announcement map the carrier's resolvers use when ECS
     /// is deployed: each device /24 maps to its site's public egress
     /// subnet (the NAT-aware translation a real deployment needs).
-    pub fn ecs_map(&self) -> std::collections::HashMap<Prefix, Ipv4Addr> {
-        let mut map = std::collections::HashMap::new();
+    pub fn ecs_map(&self) -> std::collections::BTreeMap<Prefix, Ipv4Addr> {
+        let mut map = std::collections::BTreeMap::new();
         for (s, alloc) in self.site_allocs.iter().enumerate() {
             let base = alloc.prefix().network().octets();
             let egress = self.sites[s].egress_addr;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `cellsim` — the cellular-network substrate of the *Behind the Curtain*

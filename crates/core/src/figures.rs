@@ -11,7 +11,7 @@ use analysis::{
 };
 use cellsim::profile::{six_carriers, Country};
 use measure::record::{Dataset, ResolverKind};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// One regenerated artifact: identifier, printable text, optional CSV.
@@ -53,7 +53,7 @@ pub fn table1(ds: &Dataset) -> Artifact {
     let profiles = six_carriers();
     let rows: Vec<Vec<String>> = (0..ds.carrier_names.len())
         .map(|c| {
-            let clients: HashSet<u32> = ds.of_carrier(c).map(|r| r.device_id).collect();
+            let clients: BTreeSet<u32> = ds.of_carrier(c).map(|r| r.device_id).collect();
             let country = profiles
                 .iter()
                 .find(|p| p.name == ds.carrier_names[c])
@@ -612,7 +612,7 @@ pub fn fig14(ds: &Dataset) -> Artifact {
 /// first thing `repro` prints.
 pub fn summary(ds: &Dataset) -> Artifact {
     let mut text = String::new();
-    let devices: HashSet<u32> = ds.records.iter().map(|r| r.device_id).collect();
+    let devices: BTreeSet<u32> = ds.records.iter().map(|r| r.device_id).collect();
     let span_days = ds.records.iter().map(|r| r.t.as_secs()).max().unwrap_or(0) as f64 / 86_400.0;
     let probes: usize = ds
         .records

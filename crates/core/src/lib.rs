@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `cdns` — the cellular DNS measurement suite: the public API of the

@@ -1,0 +1,777 @@
+//! `detlint`: a workspace determinism-and-safety lint pass.
+//!
+//! The campaign's headline guarantee is *byte-identical CSVs for every
+//! thread count and seed lane* (DESIGN.md §4). That invariant is easy to
+//! break silently: one `for` loop over a `HashMap`, one `Instant::now()`,
+//! one `thread_rng()` in a simulation path and replays diverge while every
+//! unit test stays green. `detlint` makes those hazards a compile gate
+//! instead of a hope, with a hand-rolled line/token scanner — no syn, no
+//! registry dependencies, in the spirit of the vendored stubs.
+//!
+//! Rules (see DESIGN.md §5 for the full policy):
+//!
+//! - **D1** — no iteration-order escape from hash collections (`for … in`,
+//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`, …) in
+//!   the simulation/analysis crates. Use `BTreeMap`/`BTreeSet`, or sort
+//!   before iterating and carry an allow-marker saying why it is safe.
+//! - **D2** — no wall clock (`Instant::now`, `SystemTime::now`) in
+//!   simulation crates; only the simulated clock may drive behaviour.
+//! - **D3** — no ambient randomness (`thread_rng`, `from_entropy`,
+//!   `rand::random`); all RNG must flow from the seed lanes.
+//! - **D4** — no `unwrap()`/`expect()`/`panic!` in non-test library code of
+//!   the hot-path crates (`netsim`, `dnssim`, `measure`) without a marker.
+//! - **D5** — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Suppression is explicit and audited: an inline
+//! `// detlint: allow(D1) -- <reason>` marker on the offending line (or
+//! alone on the line above) suppresses the named rule *only when a written
+//! reason follows the `--`*. A marker without a reason is itself an error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose behaviour feeds the simulation or its analysis: D1–D3
+/// apply here. Names are the directory names under `crates/`.
+pub const SIM_CRATES: &[&str] = &[
+    "netsim", "dnswire", "dnssim", "cellsim", "cdnsim", "measure", "analysis", "core",
+];
+
+/// Hot-path crates where D4 (panic-freedom of library code) applies.
+pub const HOT_CRATES: &[&str] = &["netsim", "dnssim", "measure"];
+
+/// Methods whose receiver's iteration order escapes into program behaviour.
+const D1_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration-order escape from a hash collection.
+    D1,
+    /// Wall-clock read in a simulation crate.
+    D2,
+    /// Ambient (non-seed-lane) randomness.
+    D3,
+    /// `unwrap`/`expect`/`panic!` in hot-path library code.
+    D4,
+    /// Missing `#![forbid(unsafe_code)]` in a crate root.
+    D5,
+    /// Malformed allow-marker (a marker is itself subject to lint).
+    Marker,
+}
+
+impl Rule {
+    /// The short identifier used in diagnostics and allow-markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::Marker => "marker",
+        }
+    }
+
+    /// Parses a rule name as written inside `allow(...)`.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s.trim() {
+            "D1" | "d1" => Some(Rule::D1),
+            "D2" | "d2" => Some(Rule::D2),
+            "D3" | "d3" => Some(Rule::D3),
+            "D4" | "d4" => Some(Rule::D4),
+            "D5" | "d5" => Some(Rule::D5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: rule[{}]: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace, which decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Crate directory name (`netsim`, `analysis`, …).
+    pub crate_name: String,
+    /// Whether this file is the crate root (`src/lib.rs` / `src/main.rs`).
+    pub is_crate_root: bool,
+}
+
+impl FileCtx {
+    /// Context for a file of the named crate.
+    pub fn new(crate_name: &str, is_crate_root: bool) -> Self {
+        FileCtx {
+            crate_name: crate_name.to_string(),
+            is_crate_root,
+        }
+    }
+
+    fn sim(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn hot(&self) -> bool {
+        HOT_CRATES.contains(&self.crate_name.as_str())
+    }
+}
+
+/// Splits one source line into its code part and its comment part (the
+/// text after a `//` that is not inside a string or char literal). The
+/// *contents* of string literals are blanked out in the code part, so a
+/// banned pattern inside a log message never fires. Block comments are
+/// handled by the caller.
+fn split_comment(line: &str) -> (String, Option<String>) {
+    let bytes = line.as_bytes();
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            match c {
+                b'\\' => {
+                    // The escape and the escaped byte are both blanked.
+                    code.push(b' ');
+                    if i + 1 < bytes.len() {
+                        code.push(b' ');
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    code.push(c);
+                    in_str = false;
+                }
+                _ => code.push(b' '),
+            }
+        } else {
+            match c {
+                b'"' => {
+                    code.push(c);
+                    in_str = true;
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few bytes ('x', '\n', '\u{..}'); a lifetime never
+                    // closes. Scan ahead conservatively and blank the body.
+                    let mut j = i + 1;
+                    if j < bytes.len() && bytes[j] == b'\\' {
+                        j += 2;
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        code.push(c);
+                        code.extend(std::iter::repeat_n(b' ', j.min(bytes.len()) - i - 1));
+                        if j < bytes.len() {
+                            code.push(b'\'');
+                        }
+                        i = j;
+                    } else if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                        code.extend([b'\'', b' ', b'\'']);
+                        i = j + 1;
+                    } else {
+                        // Lifetime: keep as-is.
+                        code.push(c);
+                    }
+                }
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                    return (
+                        String::from_utf8_lossy(&code).into_owned(),
+                        Some(line[i + 2..].to_string()),
+                    );
+                }
+                _ => code.push(c),
+            }
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&code).into_owned(), None)
+}
+
+/// The trailing identifier of `s`, if any (`self.entries` → `entries`).
+fn trailing_ident(s: &str) -> Option<&str> {
+    let s = s.trim_end();
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map(|i| i + c_len(s, i))
+        .unwrap_or(0);
+    if start >= end {
+        return None;
+    }
+    let ident = &s[start..end];
+    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident)
+}
+
+fn c_len(s: &str, i: usize) -> usize {
+    s[i..].chars().next().map(char::len_utf8).unwrap_or(1)
+}
+
+/// If the text before a `HashMap`/`HashSet` occurrence binds the collection
+/// to a name (`entries: HashMap<…>`, `let mut m = HashMap::new()`), returns
+/// that name.
+fn bind_target(prefix: &str) -> Option<String> {
+    let p = prefix.trim_end();
+    let p = p.strip_suffix("std::collections::").unwrap_or(p);
+    let p = p.strip_suffix("collections::").unwrap_or(p);
+    let p = p.trim_end();
+    // Reference bindings (`name: &HashMap<…>`, `name: &mut HashMap<…>`)
+    // alias the collection just as well as owned ones.
+    let p = match p
+        .strip_suffix("mut")
+        .map(str::trim_end)
+        .and_then(|q| q.strip_suffix('&'))
+    {
+        Some(q) => q,
+        None => p.strip_suffix('&').unwrap_or(p),
+    };
+    let p = p.trim_end();
+    if let Some(before_colon) = p.strip_suffix(':') {
+        // A single type-ascription colon, not a `::` path.
+        if before_colon.ends_with(':') {
+            return None;
+        }
+        return trailing_ident(before_colon).map(str::to_string);
+    }
+    if let Some(before_eq) = p.strip_suffix('=') {
+        // Reject `==`, `>=`, `<=`, `!=`, `+=` and friends.
+        if before_eq.ends_with(['=', '>', '<', '!', '+', '-', '*', '/']) {
+            return None;
+        }
+        return trailing_ident(before_eq).map(str::to_string);
+    }
+    None
+}
+
+/// Collects every name bound to a hash collection in the file.
+fn hash_bound_names(code_lines: &[String]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for code in code_lines {
+        if code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for needle in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(needle) {
+                let at = from + pos;
+                // Must be a standalone token.
+                let after = code[at + needle.len()..].chars().next();
+                if after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    from = at + needle.len();
+                    continue;
+                }
+                if let Some(name) = bind_target(&code[..at]) {
+                    names.insert(name);
+                }
+                from = at + needle.len();
+            }
+        }
+    }
+    names
+}
+
+/// Parses a `detlint: allow(<rules>) -- <reason>` marker out of a comment.
+/// The marker must be the comment's entire content (doc comments that
+/// merely *mention* markers mid-sentence are not markers). Returns
+/// `Err(message)` when the marker is malformed.
+fn parse_marker(comment: &str) -> Option<Result<Vec<Rule>, String>> {
+    let head = comment.trim_start_matches(['/', '!']).trim_start();
+    let rest = head.strip_prefix("detlint:")?.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Some(Err(
+            "detlint marker must be `allow(<rule>[, <rule>]) -- <reason>`".to_string(),
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(Err("detlint allow-marker is missing `(`".to_string()));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Err("detlint allow-marker is missing `)`".to_string()));
+    };
+    let mut rules = Vec::new();
+    for part in rest[..close].split(',') {
+        match Rule::from_id(part) {
+            Some(r) => rules.push(r),
+            None => {
+                return Some(Err(format!(
+                    "unknown rule `{}` in allow-marker",
+                    part.trim()
+                )))
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Some(Err("allow-marker names no rules".to_string()));
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Some(Err(
+            "allow-marker needs a written reason: `-- <why this is safe>`".to_string(),
+        ));
+    };
+    if reason.trim().is_empty() {
+        return Some(Err(
+            "allow-marker reason is empty; write why the suppression is sound".to_string(),
+        ));
+    }
+    Some(Ok(rules))
+}
+
+/// Per-line derived state for one scanned file.
+struct FileScan {
+    /// Code with comments stripped, per line.
+    code: Vec<String>,
+    /// Whether each line is inside `#[cfg(test)]` gated code.
+    is_test: Vec<bool>,
+    /// Rules suppressed on each line by a valid allow-marker.
+    allowed: Vec<BTreeSet<Rule>>,
+    /// Malformed-marker findings.
+    marker_findings: Vec<(usize, String)>,
+}
+
+fn prepare(source: &str) -> FileScan {
+    let raw: Vec<&str> = source.lines().collect();
+    let mut code = Vec::with_capacity(raw.len());
+    let mut comments: Vec<Option<String>> = Vec::with_capacity(raw.len());
+    let mut in_block = false;
+    for line in &raw {
+        if in_block {
+            if let Some(end) = line.find("*/") {
+                in_block = false;
+                let (c, m) = split_comment(&line[end + 2..]);
+                code.push(c);
+                comments.push(m);
+            } else {
+                code.push(String::new());
+                comments.push(None);
+            }
+            continue;
+        }
+        let (mut c, m) = split_comment(line);
+        // Strip any block comments opening (and possibly closing) here.
+        while let Some(start) = c.find("/*") {
+            if let Some(end) = c[start + 2..].find("*/") {
+                c = format!("{}{}", &c[..start], &c[start + 2 + end + 2..]);
+            } else {
+                c.truncate(start);
+                in_block = true;
+                break;
+            }
+        }
+        code.push(c);
+        comments.push(m);
+    }
+
+    // `#[cfg(test)]` regions: from the attribute through the close of the
+    // brace block it gates.
+    let mut is_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            let mut depth: i32 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                is_test[j] = true;
+                for ch in code[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    // Allow-markers.
+    let mut allowed: Vec<BTreeSet<Rule>> = vec![BTreeSet::new(); code.len()];
+    let mut marker_findings = Vec::new();
+    for (i, comment) in comments.iter().enumerate() {
+        let Some(comment) = comment else { continue };
+        match parse_marker(comment) {
+            None => {}
+            Some(Err(msg)) => marker_findings.push((i + 1, msg)),
+            Some(Ok(rules)) => {
+                let standalone = code[i].trim().is_empty();
+                let target = if standalone {
+                    // The next line holding any code.
+                    (i + 1..code.len()).find(|&j| !code[j].trim().is_empty())
+                } else {
+                    Some(i)
+                };
+                if let Some(t) = target {
+                    allowed[t].extend(rules.iter().copied());
+                }
+            }
+        }
+    }
+
+    FileScan {
+        code,
+        is_test,
+        allowed,
+        marker_findings,
+    }
+}
+
+/// Scans one file's source. `file` is the label used in diagnostics.
+pub fn scan_file(file: &str, source: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let scan = prepare(source);
+    let mut findings = Vec::new();
+
+    for (line, msg) in &scan.marker_findings {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: *line,
+            rule: Rule::Marker,
+            message: msg.clone(),
+        });
+    }
+
+    // D5: crate roots must forbid unsafe code.
+    if ctx.is_crate_root
+        && !scan
+            .code
+            .iter()
+            .any(|c| c.contains("#![forbid(unsafe_code)]"))
+        && !scan.allowed.first().is_some_and(|a| a.contains(&Rule::D5))
+    {
+        findings.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            rule: Rule::D5,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+
+    let hash_names = if ctx.sim() {
+        hash_bound_names(
+            &scan
+                .code
+                .iter()
+                .zip(&scan.is_test)
+                .filter(|(_, &t)| !t)
+                .map(|(c, _)| c.clone())
+                .collect::<Vec<_>>(),
+        )
+    } else {
+        BTreeSet::new()
+    };
+
+    for (i, code) in scan.code.iter().enumerate() {
+        if scan.is_test[i] {
+            continue;
+        }
+        let lineno = i + 1;
+        let allowed = &scan.allowed[i];
+        let push = |rule: Rule, message: String, findings: &mut Vec<Finding>| {
+            if !allowed.contains(&rule) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        };
+
+        if ctx.sim() {
+            // D1a: iteration-order-escaping method on a hash-bound name. For
+            // chains broken across lines (`self\n  .entries\n  .iter()`), the
+            // receiver is the trailing identifier of the previous code line.
+            for m in D1_METHODS {
+                let needle = format!(".{m}(");
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(&needle) {
+                    let at = from + pos;
+                    let recv = trailing_ident(&code[..at]).or_else(|| {
+                        if !code[..at].trim().is_empty() {
+                            return None;
+                        }
+                        (0..i)
+                            .rev()
+                            .map(|j| scan.code[j].as_str())
+                            .find(|c| !c.trim().is_empty())
+                            .and_then(trailing_ident)
+                    });
+                    if let Some(recv) = recv {
+                        if hash_names.contains(recv) {
+                            push(
+                                Rule::D1,
+                                format!(
+                                    "iteration order of hash collection `{recv}` escapes via \
+                                     `.{m}()`; use BTreeMap/BTreeSet or sort first"
+                                ),
+                                &mut findings,
+                            );
+                        }
+                    }
+                    from = at + needle.len();
+                }
+            }
+            // D1b: `for … in <hash-bound path>`.
+            if let Some(for_at) = find_for_keyword(code) {
+                if let Some(in_at) = code[for_at..].find(" in ") {
+                    let expr = code[for_at + in_at + 4..]
+                        .split('{')
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .trim_start_matches("&mut ")
+                        .trim_start_matches('&');
+                    if is_plain_path(expr) {
+                        if let Some(last) = expr.rsplit('.').next() {
+                            if hash_names.contains(last) {
+                                push(
+                                    Rule::D1,
+                                    format!(
+                                        "`for … in {expr}` iterates hash collection `{last}` in \
+                                         nondeterministic order; use BTreeMap/BTreeSet or sort \
+                                         first"
+                                    ),
+                                    &mut findings,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // D2: wall clock.
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if code.contains(pat) {
+                    push(
+                        Rule::D2,
+                        format!("wall-clock read `{pat}()` in a simulation crate; use the simulated clock"),
+                        &mut findings,
+                    );
+                }
+            }
+            // D3: ambient randomness.
+            for pat in ["thread_rng", "from_entropy", "rand::random"] {
+                if code.contains(pat) {
+                    push(
+                        Rule::D3,
+                        format!(
+                            "ambient randomness `{pat}`; all RNG must flow from the seed lanes"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        if ctx.hot() {
+            for (pat, what) in [
+                (".unwrap()", "unwrap()"),
+                (".expect(", "expect()"),
+                ("panic!", "panic!"),
+            ] {
+                if code.contains(pat) {
+                    push(
+                        Rule::D4,
+                        format!(
+                            "`{what}` in hot-path library code; return an error, restructure, \
+                             or justify with an allow-marker"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Position right after a `for ` keyword token, if the line has one.
+fn find_for_keyword(code: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("for ") {
+        let at = from + pos;
+        let before = code[..at].chars().next_back();
+        if before.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_')) {
+            return Some(at + 4);
+        }
+        from = at + 4;
+    }
+    None
+}
+
+/// Whether `s` is a bare receiver path (`self.entries`, `groups`) rather
+/// than an arbitrary expression (whose order may already be laundered
+/// through sorting adapters).
+fn is_plain_path(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// A workspace crate to scan.
+#[derive(Debug)]
+struct Package {
+    name: String,
+    src: PathBuf,
+}
+
+/// Scans the whole workspace rooted at `root`. Test targets (`tests/`,
+/// `benches/`, `examples/`) are skipped: every rule here exempts test
+/// code, and D5 applies to crate roots only.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut packages = Vec::new();
+    if root.join("src").is_dir() {
+        packages.push(Package {
+            name: "behind-the-curtain".to_string(),
+            src: root.join("src"),
+        });
+    }
+    for parent in ["crates", "vendor"] {
+        let dir = root.join(parent);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("Cargo.toml").is_file() && p.join("src").is_dir())
+            .collect();
+        entries.sort();
+        for p in entries {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            packages.push(Package {
+                name,
+                src: p.join("src"),
+            });
+        }
+    }
+
+    let mut findings = Vec::new();
+    for pkg in &packages {
+        let mut files = Vec::new();
+        collect_rs(&pkg.src, &mut files)?;
+        files.sort();
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_root = f
+                .file_name()
+                .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+                && f.parent().is_some_and(|p| p == pkg.src);
+            let source = std::fs::read_to_string(&f)?;
+            let ctx = FileCtx::new(&pkg.name, is_root);
+            findings.extend(scan_file(&rel, &source, &ctx));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as a JSON array (hand-rolled; no serde in the tree).
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start.ancestors().find_map(|dir| {
+        let manifest = dir.join("Cargo.toml");
+        let text = std::fs::read_to_string(manifest).ok()?;
+        text.contains("[workspace]").then(|| dir.to_path_buf())
+    })
+}

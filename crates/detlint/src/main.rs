@@ -1,0 +1,108 @@
+//! CLI for the `detlint` workspace determinism-and-safety lint pass.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p detlint                     # text diagnostics, exit 1 on findings
+//! cargo run -p detlint -- --format json    # JSON report (for CI artifacts)
+//! cargo run -p detlint -- --root ../other  # lint another workspace
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "detlint: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("detlint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "detlint: workspace determinism-and-safety lint pass\n\n\
+                     OPTIONS:\n  \
+                     --format <text|json>  output format (default: text)\n  \
+                     --root <path>         workspace root (default: discovered from manifest dir)\n\n\
+                     Rules: D1 hash-iteration-order escape, D2 wall clock, D3 ambient RNG,\n\
+                     D4 panic in hot-path library code, D5 missing #![forbid(unsafe_code)].\n\
+                     Suppress with an inline comment marker: detlint: allow(D#) -- <reason>."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let start = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            match detlint::find_workspace_root(&start) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "detlint: no [workspace] manifest found above {}",
+                        start.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match detlint::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("detlint: workspace clean");
+            } else {
+                eprintln!("detlint: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => println!("{}", detlint::to_json(&findings)),
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}

@@ -1,0 +1,10 @@
+// D1 fixture: exactly one iteration-order escape from a hash collection.
+use std::collections::HashMap;
+
+pub fn total(scores: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_name, n) in scores.iter() {
+        sum += n;
+    }
+    sum
+}

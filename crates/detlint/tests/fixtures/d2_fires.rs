@@ -1,0 +1,6 @@
+// D2 fixture: exactly one wall-clock read.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

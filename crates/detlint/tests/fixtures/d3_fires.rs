@@ -1,0 +1,5 @@
+// D3 fixture: exactly one ambient-randomness source.
+pub fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(1..=6)
+}

@@ -1,0 +1,4 @@
+// D4 fixture: exactly one panic source in hot-path library code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

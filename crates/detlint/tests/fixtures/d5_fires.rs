@@ -1,0 +1,2 @@
+// D5 fixture: a crate root with no `#![forbid(unsafe_code)]` attribute.
+pub mod imaginary {}

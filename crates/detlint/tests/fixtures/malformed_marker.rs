@@ -1,0 +1,9 @@
+// Malformed-marker fixture: a reasonless marker is an error, and the
+// violation it points at is NOT suppressed.
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // detlint: allow(D2)
+    Instant::now()
+}

@@ -1,0 +1,187 @@
+//! detlint's own coverage: each rule fires exactly once on its fixture, a
+//! well-formed allow-marker suppresses, and a reasonless marker is itself
+//! an error that suppresses nothing.
+
+use detlint::{scan_file, FileCtx, Finding, Rule};
+
+const D1: &str = include_str!("fixtures/d1_fires.rs");
+const D2: &str = include_str!("fixtures/d2_fires.rs");
+const D3: &str = include_str!("fixtures/d3_fires.rs");
+const D4: &str = include_str!("fixtures/d4_fires.rs");
+const D5: &str = include_str!("fixtures/d5_fires.rs");
+const ALLOWED: &str = include_str!("fixtures/allowed.rs");
+const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
+
+/// A sim + hot crate, non-root file: D1–D4 all apply.
+fn sim_hot() -> FileCtx {
+    FileCtx::new("netsim", false)
+}
+
+fn rules(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn d1_fires_exactly_once() {
+    let f = scan_file("d1_fires.rs", D1, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D1], "{f:?}");
+    assert_eq!(f[0].line, 6);
+    assert!(f[0].message.contains("`scores`"), "{}", f[0].message);
+}
+
+#[test]
+fn d2_fires_exactly_once() {
+    let f = scan_file("d2_fires.rs", D2, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D2], "{f:?}");
+    assert_eq!(f[0].line, 5);
+}
+
+#[test]
+fn d3_fires_exactly_once() {
+    let f = scan_file("d3_fires.rs", D3, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D3], "{f:?}");
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn d4_fires_exactly_once() {
+    let f = scan_file("d4_fires.rs", D4, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D4], "{f:?}");
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn d5_fires_exactly_once_on_crate_roots_only() {
+    let root = FileCtx::new("netsim", true);
+    let f = scan_file("d5_fires.rs", D5, &root);
+    assert_eq!(rules(&f), vec![Rule::D5], "{f:?}");
+    // The same file as a non-root module is fine: D5 is a root obligation.
+    assert!(scan_file("d5_fires.rs", D5, &sim_hot()).is_empty());
+}
+
+#[test]
+fn valid_markers_suppress_everything() {
+    let root = FileCtx::new("netsim", true);
+    let f = scan_file("allowed.rs", ALLOWED, &root);
+    assert!(f.is_empty(), "expected clean, got {f:?}");
+}
+
+#[test]
+fn marker_without_reason_is_an_error_and_suppresses_nothing() {
+    let root = FileCtx::new("netsim", true);
+    let f = scan_file("malformed_marker.rs", MALFORMED, &root);
+    assert_eq!(rules(&f), vec![Rule::Marker, Rule::D2], "{f:?}");
+    let marker = f.iter().find(|x| x.rule == Rule::Marker).unwrap();
+    assert!(marker.message.contains("reason"), "{}", marker.message);
+}
+
+#[test]
+fn marker_with_empty_reason_is_an_error() {
+    let src = "fn f() {\n    let t = std::time::Instant::now(); // detlint: allow(D2) -- \n}\n";
+    let f = scan_file("x.rs", src, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D2, Rule::Marker], "{f:?}");
+}
+
+#[test]
+fn marker_naming_unknown_rule_is_an_error() {
+    let src = "// detlint: allow(D9) -- no such rule\nfn f() {}\n";
+    let f = scan_file("x.rs", src, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::Marker], "{f:?}");
+}
+
+#[test]
+fn rules_do_not_apply_outside_their_crate_scope() {
+    // D1–D3 are scoped to simulation crates, D4 to hot-path crates; a
+    // support crate like `bench` triggers neither.
+    let support = FileCtx::new("bench", false);
+    assert!(scan_file("d1.rs", D1, &support).is_empty());
+    assert!(scan_file("d2.rs", D2, &support).is_empty());
+    assert!(scan_file("d3.rs", D3, &support).is_empty());
+    assert!(scan_file("d4.rs", D4, &support).is_empty());
+    // D4 also stays quiet in sim-but-not-hot crates like `analysis`.
+    assert!(scan_file("d4.rs", D4, &FileCtx::new("analysis", false)).is_empty());
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        let _ = std::time::Instant::now();
+    }
+}
+";
+    assert!(scan_file("x.rs", src, &sim_hot()).is_empty());
+}
+
+#[test]
+fn comments_and_strings_do_not_fire() {
+    let src = "\
+/// Example: `map.iter().next().unwrap()` and `Instant::now()`.
+// thread_rng() is banned here.
+pub fn msg() -> &'static str {
+    \"no // comment starts inside this Instant::now string\"
+}
+";
+    assert!(scan_file("x.rs", src, &sim_hot()).is_empty());
+}
+
+#[test]
+fn multiline_method_chains_are_caught() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u32 {
+    m
+        .values()
+        .sum()
+}
+";
+    let f = scan_file("x.rs", src, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D1], "{f:?}");
+    assert_eq!(f[0].line, 4);
+}
+
+#[test]
+fn for_loops_over_hash_maps_are_caught() {
+    let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) {
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+";
+    let f = scan_file("x.rs", src, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D1], "{f:?}");
+}
+
+#[test]
+fn btree_collections_are_clean() {
+    let src = "\
+use std::collections::BTreeMap;
+fn f(m: &BTreeMap<u32, u32>) -> u32 {
+    m.values().sum()
+}
+";
+    assert!(scan_file("x.rs", src, &sim_hot()).is_empty());
+}
+
+#[test]
+fn json_output_is_escaped_and_well_formed() {
+    let f = vec![Finding {
+        file: "a\\b.rs".into(),
+        line: 7,
+        rule: Rule::D2,
+        message: "say \"no\"".into(),
+    }];
+    let json = detlint::to_json(&f);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"rule\": \"D2\""));
+    assert!(json.contains("a\\\\b.rs"));
+    assert!(json.contains("say \\\"no\\\""));
+    assert_eq!(detlint::to_json(&[]), "[\n]");
+}

@@ -16,7 +16,7 @@ use dnswire::name::DnsName;
 use dnswire::rdata::RecordType;
 use netsim::addr::Prefix;
 use netsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cache key: owner name, record type, and — for ECS-partitioned entries
 /// (RFC 7871 §7.3) — the client subnet the answer was scoped to.
@@ -84,7 +84,7 @@ pub struct CacheStats {
 /// The resolver cache.
 #[derive(Debug)]
 pub struct DnsCache {
-    entries: HashMap<CacheKey, Entry>,
+    entries: BTreeMap<CacheKey, Entry>,
     capacity: usize,
     max_ttl: SimDuration,
     ambient: Option<AmbientModel>,
@@ -97,7 +97,7 @@ impl DnsCache {
     /// TTLs at `max_ttl`.
     pub fn new(capacity: usize, max_ttl: SimDuration) -> Self {
         DnsCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             capacity: capacity.max(1),
             max_ttl,
             ambient: None,

@@ -83,8 +83,13 @@ pub fn resolve(
         let mut query = QueryBuilder::new(id, qname.to_string(), qtype)
             .recursion_desired(true)
             .build()
+            // detlint: allow(D4) -- query names come from the static
+            // experiment catalog validated at world build; a bad name is a
+            // driver bug
             .expect("valid query name");
         query.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
+        // detlint: allow(D4) -- encode of a query built two lines up from an
+        // already-validated name
         let payload = query.encode().expect("query encodes");
         let flow = net.udp_request(node, resolver, DNS_PORT, payload, timeout);
         let outcome = net.run_until(flow);
@@ -122,6 +127,8 @@ pub fn whoami(
     let nonce: u64 = net.rng().gen();
     let qname = probe_zone
         .child(&format!("x{nonce:016x}"))
+        // detlint: allow(D4) -- the nonce label is fixed-width hex, always a
+        // valid DNS label
         .expect("nonce label is valid");
     let lookup = resolve(net, node, resolver, &qname, RecordType::A);
     let external = lookup.addrs().first().copied();

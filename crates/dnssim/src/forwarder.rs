@@ -11,7 +11,7 @@ use dnswire::message::{Header, Message, Rcode};
 use netsim::engine::{Egress, ServiceCtx, UdpService};
 use netsim::time::{SimDuration, SimTime};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use crate::authority::DNS_PORT;
@@ -82,9 +82,9 @@ pub struct Forwarder {
     /// EDNS client-subnet map (the paper's §9 future-work fix): client /24
     /// → the public egress subnet the carrier would announce for it. When
     /// set, relayed queries carry ECS and the cache partitions by subnet.
-    ecs_map: HashMap<Prefix, Ipv4Addr>,
-    leases: HashMap<Ipv4Addr, (usize, SimTime)>,
-    pending: HashMap<u16, PendingRelay>,
+    ecs_map: BTreeMap<Prefix, Ipv4Addr>,
+    leases: BTreeMap<Ipv4Addr, (usize, SimTime)>,
+    pending: BTreeMap<u16, PendingRelay>,
     next_txn: u16,
     timeout: SimDuration,
     proc_delay: SimDuration,
@@ -101,9 +101,9 @@ impl Forwarder {
             policy,
             egress_addr: None,
             cache: None,
-            ecs_map: HashMap::new(),
-            leases: HashMap::new(),
-            pending: HashMap::new(),
+            ecs_map: BTreeMap::new(),
+            leases: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_txn: 1,
             timeout: SimDuration::from_secs(4),
             proc_delay: SimDuration::from_micros(150),
@@ -119,7 +119,7 @@ impl Forwarder {
 
     /// Enables RFC 7871 client-subnet announcements: clients inside `client`
     /// /24s are announced as the mapped public egress /24.
-    pub fn with_ecs_map(mut self, map: HashMap<Prefix, Ipv4Addr>) -> Self {
+    pub fn with_ecs_map(mut self, map: BTreeMap<Prefix, Ipv4Addr>) -> Self {
         self.ecs_map = map;
         self
     }
@@ -255,6 +255,9 @@ impl Forwarder {
                 return id;
             }
         }
+        // detlint: allow(D4) -- exhausting all 65k transaction ids means the
+        // driver leaked relays; continuing would mis-route upstream replies to
+        // the wrong client
         panic!("forwarder transaction ids exhausted");
     }
 
@@ -286,6 +289,8 @@ impl UdpService for Forwarder {
             return vec![Egress::reply(
                 relay.client,
                 relay.client_port,
+                // detlint: allow(D4) -- re-encode of a response that just
+                // decoded successfully; only the id header changed
                 msg.encode().expect("relayed response encodes"),
                 self.proc_delay,
             )
@@ -300,6 +305,8 @@ impl UdpService for Forwarder {
             return vec![Egress::reply(
                 from,
                 from_port,
+                // detlint: allow(D4) -- encode of a cached response assembled
+                // from records that encoded before
                 cached.encode().expect("cached response encodes"),
                 self.proc_delay,
             )];
@@ -325,6 +332,8 @@ impl UdpService for Forwarder {
         let mut egress = Egress::reply(
             upstream,
             DNS_PORT,
+            // detlint: allow(D4) -- re-encode of a query that just decoded
+            // successfully; only id and ECS changed
             msg.encode().expect("relayed query encodes"),
             self.proc_delay,
         );

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `dnssim` — DNS services over the `netsim` substrate: authoritative

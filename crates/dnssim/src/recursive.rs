@@ -12,7 +12,7 @@ use dnswire::rdata::{RData, RecordType};
 use netsim::addr::Prefix;
 use netsim::engine::{Egress, ServiceCtx, UdpService};
 use netsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Configuration of a recursive resolver instance.
@@ -105,7 +105,7 @@ const MAX_RETRIES: u8 = 2;
 pub struct RecursiveResolver {
     config: ResolverConfig,
     cache: DnsCache,
-    inflight: HashMap<u16, InFlight>,
+    inflight: BTreeMap<u16, InFlight>,
     next_txn: u16,
     /// Activity counters.
     pub stats: ResolverStats,
@@ -121,7 +121,7 @@ impl RecursiveResolver {
         RecursiveResolver {
             config,
             cache,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             next_txn: 1,
             stats: ResolverStats::default(),
         }
@@ -140,6 +140,8 @@ impl RecursiveResolver {
                 return id;
             }
         }
+        // detlint: allow(D4) -- exhausting all 65k transaction ids means the
+        // driver leaked queries; continuing would mis-match upstream answers
         panic!("resolver transaction ids exhausted");
     }
 
@@ -234,7 +236,7 @@ impl RecursiveResolver {
             (Some(p), Some((_, _, s))) if s > 0 => Some(p),
             _ => None,
         };
-        let mut groups: HashMap<CacheKey, Vec<ResourceRecord>> = HashMap::new();
+        let mut groups: BTreeMap<CacheKey, Vec<ResourceRecord>> = BTreeMap::new();
         for (rr, in_answer) in msg
             .answers
             .iter()
@@ -281,6 +283,8 @@ impl RecursiveResolver {
         Egress::reply(
             fl.client,
             fl.client_port,
+            // detlint: allow(D4) -- encode of a reply assembled from records
+            // that encoded before
             msg.encode().expect("resolver reply encodes"),
             self.config.proc_delay,
         )
@@ -308,6 +312,8 @@ impl RecursiveResolver {
         let mut egress = Egress {
             dst: server,
             dst_port: DNS_PORT,
+            // detlint: allow(D4) -- encode of a minimal upstream query the
+            // resolver itself built
             payload: msg.encode().expect("upstream query encodes"),
             delay: self.config.proc_delay,
             src_addr: None,
@@ -336,6 +342,8 @@ impl RecursiveResolver {
             out.push(Egress::reply(
                 from,
                 from_port,
+                // detlint: allow(D4) -- encode of a FormErr reply the resolver
+                // itself just built
                 resp.encode().expect("formerr encodes"),
                 self.config.proc_delay,
             ));
@@ -462,6 +470,9 @@ impl RecursiveResolver {
                     .cloned();
                 match cname {
                     Some(rr) => {
+                        // detlint: allow(D4) -- the record was filtered to
+                        // RecordType::Cname two lines up, so its rdata is a
+                        // CNAME
                         let target = rr.rdata.as_cname().expect("cname rdata").clone();
                         fl.chain.push(rr);
                         current = target;

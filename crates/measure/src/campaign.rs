@@ -189,6 +189,9 @@ fn merge_shard_runs(world: &World, cfg: &CampaignConfig, runs: Vec<ShardRun>) ->
             for _ in 0..n {
                 dataset
                     .records
+                    // detlint: allow(D4) -- block sizes were computed from the
+                    // shard outputs being drained, so the cursor cannot run
+                    // short
                     .push(cursor.next().expect("shard produced a full block"));
             }
         }
@@ -241,6 +244,9 @@ pub fn run_campaign_with(
         });
         slots
             .into_iter()
+            // detlint: allow(D4) -- the scope joined every worker and each
+            // worker fills its own slot; an empty slot means a panic the join
+            // already propagated
             .map(|s| s.expect("worker covered every shard"))
             .collect()
     };

@@ -12,7 +12,7 @@ use crate::spec::ExperimentSpec;
 use crate::world::{Backbone, CarrierShard, World, GOOGLE_VIP, OPENDNS_VIP};
 use dnssim::client::{resolve, whoami};
 use dnswire::rdata::RecordType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Runs one experiment for the device at fleet-global index `device_idx`.
@@ -80,7 +80,7 @@ pub fn run_experiment_in_shard(
     // DNS resolutions: every domain against every resolver, twice.
     let mut lookups = Vec::with_capacity(catalog.len() * resolvers.len() * 2);
     // replica addr -> every (domain, via) that returned it this experiment.
-    let mut replica_seen: HashMap<Ipv4Addr, Vec<(u8, ResolverKind)>> = HashMap::new();
+    let mut replica_seen: BTreeMap<Ipv4Addr, Vec<(u8, ResolverKind)>> = BTreeMap::new();
     let mut replica_order: Vec<Ipv4Addr> = Vec::new();
     let attempts = if spec.double_lookup { 2 } else { 1 };
     for (d_idx, entry) in catalog.iter().enumerate() {
@@ -161,7 +161,7 @@ pub fn run_experiment_in_shard(
 
     // Replica probes: ping + HTTP GET to every distinct replica, traceroute
     // to a rotating subsample.
-    let mut measured: HashMap<Ipv4Addr, (Option<u32>, Option<u32>)> = HashMap::new();
+    let mut measured: BTreeMap<Ipv4Addr, (Option<u32>, Option<u32>)> = BTreeMap::new();
     let mut replica_probes = Vec::new();
     for (i, &addr) in replica_order.iter().enumerate() {
         let (rtt_us, ttfb_us) = {

@@ -221,12 +221,16 @@ impl Backbone {
                 adns.add_dynamic(Box::new(MappingZone::new(
                     entry.zone.clone(),
                     DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                        // detlint: allow(D4) -- zone name is a static format
+                        // literal, always parseable
                         .expect("valid edge suffix"),
                     Arc::clone(&cdn_net.cdn),
                 )));
             }
             adns.add_dynamic(Box::new(EdgeZone::new(
                 DnsName::parse(&format!("edge.{}.example", PROVIDER_NAMES[p]))
+                    // detlint: allow(D4) -- zone name is a static format
+                    // literal, always parseable
                     .expect("valid edge zone"),
                 Arc::clone(&cdn_net.cdn),
             )));
@@ -449,6 +453,8 @@ pub fn build_world(config: WorldConfig) -> World {
             };
             let prefix: Prefix = format!("{}.{}.{}.0/24", octets[0], octets[1], s)
                 .parse()
+                // detlint: allow(D4) -- the format string constructs a
+                // syntactically valid /24 prefix
                 .expect("valid site prefix");
             let egress_addrs: Vec<Ipv4Addr> =
                 (1..=per_site).map(|k| prefix.addr(k as u32)).collect();
@@ -571,15 +577,20 @@ pub fn build_world(config: WorldConfig) -> World {
             let (_, _, node) = tld_nodes
                 .iter()
                 .find(|(l, _, _)| *l == label)
+                // detlint: allow(D4) -- tld_nodes was built from the same TLD
+                // list being mapped here
                 .expect("tld node exists");
             (*node, zone)
         })
         .collect();
 
     // Probe apex (static part; the whoami zone is dynamic per engine).
+    // detlint: allow(D4) -- static zone-name literals always parse
     let probe_zone = DnsName::parse("whoami.probe.example").expect("valid probe zone");
+    // detlint: allow(D4) -- static zone-name literals always parse
     let mut probe_apex = Zone::new(DnsName::parse("probe.example").expect("valid"));
     probe_apex.add_a(
+        // detlint: allow(D4) -- static zone-name literals always parse
         DnsName::parse("probe.example").expect("valid"),
         3600,
         probe_addr,
@@ -619,7 +630,7 @@ pub fn build_world(config: WorldConfig) -> World {
             // the prefix's first member. Regionally right for that member,
             // and distant for the members from other regions sharing the
             // /24 — the paper's mis-association mechanism.
-            let mut seen: std::collections::HashSet<Prefix> = std::collections::HashSet::new();
+            let mut seen: std::collections::BTreeSet<Prefix> = std::collections::BTreeSet::new();
             for &(node, addr) in &carrier.external_resolvers {
                 let prefix = Prefix::slash24_of(addr);
                 if seen.insert(prefix) {
@@ -664,6 +675,8 @@ pub fn build_world(config: WorldConfig) -> World {
             .collect();
         handles
             .into_iter()
+            // detlint: allow(D4) -- join() propagates a shard worker's panic
+            // instead of silently dropping its devices
             .map(|h| h.join().expect("shard assembly panicked"))
             .collect()
     });
@@ -757,6 +770,8 @@ impl World {
             }
             offset += shard.devices.len();
         }
+        // detlint: allow(D4) -- a fleet-global device index out of range is a
+        // driver bug; clamping would attribute records to the wrong device
         panic!("device index {idx} out of range ({} devices)", offset);
     }
 

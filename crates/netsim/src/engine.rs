@@ -404,6 +404,9 @@ impl Network {
                 return p;
             }
         }
+        // detlint: allow(D4) -- exhausting the full 16k-port ephemeral range
+        // on one node means the driver leaked flows; continuing would hand
+        // out a duplicate port and silently corrupt transaction matching.
         panic!("ephemeral ports exhausted on {node:?}");
     }
 
@@ -513,7 +516,13 @@ impl Network {
             if !self.step() {
                 // Queue drained without completion: synthesize a timeout.
                 self.complete(flow, FlowResult::TimedOut);
-                return self.completed.remove(&flow).expect("just completed");
+                return self.completed.remove(&flow).unwrap_or(FlowOutcome {
+                    // `flow` was never pending (already polled, or a foreign
+                    // id): report the drain itself as an instant timeout.
+                    sent_at: self.now,
+                    completed_at: self.now,
+                    result: FlowResult::TimedOut,
+                });
             }
         }
     }
@@ -605,17 +614,14 @@ impl Network {
     fn on_arrive(&mut self, node: NodeId, mut packet: Packet) {
         // 1. Un-NAT inbound packets addressed to this node's NAT pool, so the
         //    firewall sees inside-view addresses.
-        let has_nat = self.topo.node(node).nat.is_some();
-        if has_nat {
-            let public = self
-                .topo
-                .node(node)
-                .nat
-                .as_ref()
-                .expect("checked")
-                .public_addr();
-            if packet.dst == public {
-                let nat = self.topo.node_mut(node).nat.as_mut().expect("checked");
+        let inbound_nat = self
+            .topo
+            .node(node)
+            .nat
+            .as_ref()
+            .is_some_and(|nat| nat.public_addr() == packet.dst);
+        if inbound_nat {
+            if let Some(nat) = self.topo.node_mut(node).nat.as_mut() {
                 match nat.translate(packet) {
                     Some(p) => packet = p,
                     None => {
@@ -626,9 +632,8 @@ impl Network {
             }
         }
         // 2. Firewall.
-        if self.topo.node(node).firewall.is_some() {
-            let now = self.now;
-            let fw = self.topo.node_mut(node).firewall.as_mut().expect("checked");
+        let now = self.now;
+        if let Some(fw) = self.topo.node_mut(node).firewall.as_mut() {
             if fw.check(&packet, now) == crate::middlebox::Verdict::Drop {
                 self.stats.firewall_drops += 1;
                 self.tracer
@@ -663,8 +668,7 @@ impl Network {
             packet.ttl -= 1;
         }
         // 5. NAT outbound.
-        if has_nat {
-            let nat = self.topo.node_mut(node).nat.as_mut().expect("checked");
+        if let Some(nat) = self.topo.node_mut(node).nat.as_mut() {
             match nat.translate(packet) {
                 Some(p) => packet = p,
                 None => {
@@ -816,10 +820,11 @@ impl Network {
         payload: Vec<u8>,
     ) {
         // Temporarily take the service out so it can borrow the engine RNG.
-        let mut service = self
-            .services
-            .remove(&(node, port))
-            .expect("service presence checked");
+        let Some(mut service) = self.services.remove(&(node, port)) else {
+            // Caller checked presence, but a reentrant handler may have
+            // unbound the service meanwhile; the datagram is simply dropped.
+            return;
+        };
         let mut ctx = ServiceCtx {
             now: self.now,
             local_addr,

@@ -10,7 +10,7 @@
 
 use crate::engine::{Egress, ServiceCtx, UdpService};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Segment flag: synchronize (connection open).
@@ -140,7 +140,7 @@ pub struct TcpHttpServer {
     pub page_size: usize,
     /// Server think-time before the first byte.
     pub service_time: SimDuration,
-    conns: HashMap<(Ipv4Addr, u16), ServerConn>,
+    conns: BTreeMap<(Ipv4Addr, u16), ServerConn>,
     /// Endpoint statistics.
     pub stats: TcpStats,
 }
@@ -151,7 +151,7 @@ impl TcpHttpServer {
         TcpHttpServer {
             page_size,
             service_time,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             stats: TcpStats::default(),
         }
     }

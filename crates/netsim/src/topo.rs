@@ -3,7 +3,7 @@
 use crate::addr::Prefix;
 use crate::latency::LatencyModel;
 use crate::middlebox::{Firewall, Nat};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Who a node answers ICMP echo requests from.
@@ -137,7 +137,7 @@ pub struct Topology {
     links: Vec<Link>,
     /// adjacency[node] = list of (neighbor, link index)
     adjacency: Vec<Vec<(NodeId, usize)>>,
-    addr_map: HashMap<Ipv4Addr, NodeId>,
+    addr_map: BTreeMap<Ipv4Addr, NodeId>,
 }
 
 impl Topology {
@@ -191,6 +191,9 @@ impl Topology {
         let prior = self.addr_map.insert(new, node);
         assert!(prior.is_none(), "duplicate address {new}");
         let addrs = &mut self.nodes[node.index()].addrs;
+        // detlint: allow(D4) -- addr_map and node.addrs are kept in lockstep;
+        // ownership of `old` was asserted two lines up, so absence here means
+        // internal corruption that must not be silently ignored.
         let slot = addrs.iter_mut().find(|a| **a == old).expect("addr listed");
         *slot = new;
     }

@@ -14,6 +14,8 @@
 //! Text goes to stdout; CSV series and the raw dataset tables go to the
 //! output directory (default `results/`).
 
+#![forbid(unsafe_code)]
+
 use cdns::measure::{CampaignConfig, ExperimentSpec, Parallelism, WorldConfig};
 use cdns::{figures, Study, StudyConfig};
 use std::fs;

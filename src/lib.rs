@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! `behind-the-curtain` — reproduction of *Behind the Curtain: Cellular DNS

@@ -1,0 +1,35 @@
+//! Workspace-clean gate: the determinism-and-safety lint pass must report
+//! zero findings on the tree. This runs inside plain `cargo test -q`, so a
+//! reintroduced hash-iteration, wall-clock, ambient-RNG, or unmarked-panic
+//! hazard fails CI even before the dedicated detlint step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    // The root package's manifest dir IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(
+        root.join("crates/detlint").is_dir(),
+        "workspace root discovery broke: {}",
+        root.display()
+    );
+    let findings = detlint::scan_workspace(root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "detlint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_root_discovery_walks_ancestors() {
+    let nested = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/detlint/src");
+    let found = detlint::find_workspace_root(&nested).expect("root above crates/detlint/src");
+    assert_eq!(found, Path::new(env!("CARGO_MANIFEST_DIR")));
+}

@@ -8,6 +8,8 @@
 //! iterations to fill a short measurement window; mean ns/iter (plus
 //! throughput, when set) is printed to stdout.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -11,6 +11,8 @@
 //! a failing case reports its case number and panics with the original
 //! assertion message.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod sample;

@@ -8,6 +8,8 @@
 //! is all the simulator requires — it never needs compatibility with the
 //! upstream crate's ChaCha streams, only self-consistency.
 
+#![forbid(unsafe_code)]
+
 pub mod distributions;
 pub mod rngs;
 pub mod seq;
