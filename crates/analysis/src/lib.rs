@@ -10,6 +10,7 @@
 
 pub mod cdf;
 pub mod egress;
+pub mod failure;
 pub mod ldns;
 pub mod reach;
 pub mod replica;
@@ -19,6 +20,7 @@ pub mod timing;
 
 pub use cdf::Cdf;
 pub use egress::{egress_counts, egress_of_trace, egress_points};
+pub use failure::{failure_rates, render_failure_report, FailureRow};
 pub use ldns::{
     busiest_device, busiest_static_device, churn_summary, ldns_pairs, resolver_counts,
     resolver_enumeration, static_location_enumeration, EnumPoint, LdnsPairSummary,

@@ -120,6 +120,11 @@ mod tests {
                     attempt,
                     elapsed_us: us,
                     addrs: vec![],
+                    outcome: if us.is_some() {
+                        measure::record::Outcome::Ok
+                    } else {
+                        measure::record::Outcome::Timeout
+                    },
                 })
                 .collect(),
             identities: vec![],

@@ -9,7 +9,8 @@ use crate::profile::{CarrierProfile, ClientFacing, PolicyConfig};
 use dnssim::authority::DNS_PORT;
 use dnssim::cache::AmbientModel;
 use dnssim::forwarder::{Forwarder, UpstreamPolicy};
-use dnssim::recursive::{RecursiveResolver, ResolverConfig};
+use dnssim::recursive::{RecursiveResolver, ResolverConfig, ServerFaults};
+use dnssim::tcp::{TcpDnsServer, DNS_TCP_PORT};
 use netsim::addr::{AddrAllocator, Prefix};
 use netsim::engine::Network;
 use netsim::latency::LatencyModel;
@@ -432,6 +433,7 @@ pub fn install_carrier_services(
     roots: &[Ipv4Addr],
     ambient_period: Option<SimDuration>,
     ecs: bool,
+    faults: ServerFaults,
 ) {
     let ecs_map = if ecs {
         carrier.ecs_map()
@@ -460,6 +462,7 @@ pub fn install_carrier_services(
     for (j, (node, addr)) in carrier.external_resolvers.iter().enumerate() {
         let mut cfg = ResolverConfig::new(roots.to_vec());
         cfg.egress_addrs = vec![*addr];
+        cfg.faults = faults;
         if let Some(period) = ambient_period {
             cfg.ambient = Some(AmbientModel {
                 period,
@@ -516,6 +519,9 @@ pub fn install_carrier_services(
                             .with_ecs_map(ecs_map.clone()),
                     ),
                 );
+                // DNS-over-TCP fallback endpoint, relaying to the
+                // co-located forwarder. Event-free until a client connects.
+                net.register_service(node, DNS_TCP_PORT, Box::new(TcpDnsServer::new()));
             }
             let instances: Vec<NodeId> = carrier
                 .sites
@@ -553,6 +559,7 @@ pub fn install_carrier_services(
                             .with_ecs_map(ecs_map.clone()),
                     ),
                 );
+                net.register_service(*node, DNS_TCP_PORT, Box::new(TcpDnsServer::new()));
             }
         }
         (None, true) => unreachable!("carrier without any client-facing tier"),
@@ -688,6 +695,7 @@ mod tests {
             &[Ipv4Addr::new(198, 41, 0, 4)],
             Some(SimDuration::from_secs(75)),
             false,
+            ServerFaults::default(),
         );
         // Egress nodes now carry NAT and firewall.
         for site in &c.sites {

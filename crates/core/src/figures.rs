@@ -5,8 +5,8 @@
 use analysis::{
     busiest_device, busiest_static_device, cache_comparison, cache_miss_fraction, cdfs_csv,
     churn_summary, cosine_by_prefix, egress_points, ldns_pairs, public_equal_or_better,
-    reachability, relative_replica_latency, render_ascii_cdf, render_cdfs, render_table,
-    replica_percent_increase, resolution_by_radio, resolution_cdf, resolver_counts,
+    reachability, relative_replica_latency, render_ascii_cdf, render_cdfs, render_failure_report,
+    render_table, replica_percent_increase, resolution_by_radio, resolution_cdf, resolver_counts,
     resolver_enumeration, resolver_replica_maps, static_location_enumeration, Cdf,
 };
 use cellsim::profile::{six_carriers, Country};
@@ -687,6 +687,17 @@ Headlines:"
     }
 }
 
+/// Failure taxonomy: lookup outcomes per carrier and resolver class.
+/// All-`ok` under a fault-free campaign; the chaos shows up here when a
+/// fault profile is active.
+pub fn failures(ds: &Dataset) -> Artifact {
+    Artifact {
+        id: "failures".into(),
+        text: render_failure_report(ds),
+        csv: Some(ds.outcomes_csv()),
+    }
+}
+
 /// Every artifact in paper order.
 pub fn all_artifacts(ds: &Dataset) -> Vec<Artifact> {
     vec![
@@ -710,6 +721,7 @@ pub fn all_artifacts(ds: &Dataset) -> Vec<Artifact> {
         fig12(ds),
         fig13(ds),
         fig14(ds),
+        failures(ds),
     ]
 }
 
@@ -747,6 +759,7 @@ pub fn artifact_by_id(ds: &Dataset, id: &str) -> Option<Artifact> {
         "fig12" => Some(fig12(ds)),
         "fig13" => Some(fig13(ds)),
         "fig14" => Some(fig14(ds)),
+        "failures" => Some(failures(ds)),
         _ => None,
     }
 }

@@ -21,6 +21,10 @@
 //! - **D4** — no `unwrap()`/`expect()`/`panic!` in non-test library code of
 //!   the hot-path crates (`netsim`, `dnssim`, `measure`) without a marker.
 //! - **D5** — every crate root carries `#![forbid(unsafe_code)]`.
+//! - **D6** — no `let _ =` discarding an experiment result (`resolve`,
+//!   `resolve_with`, `whoami`, `run_experiment`) in `measure`/`analysis`:
+//!   every lookup carries a typed failure `Outcome` that must reach the
+//!   records, not the floor.
 //!
 //! Suppression is explicit and audited: an inline
 //! `// detlint: allow(D1) -- <reason>` marker on the offending line (or
@@ -41,6 +45,20 @@ pub const SIM_CRATES: &[&str] = &[
 
 /// Hot-path crates where D4 (panic-freedom of library code) applies.
 pub const HOT_CRATES: &[&str] = &["netsim", "dnssim", "measure"];
+
+/// Crates where D6 (no discarded experiment outcomes) applies: the layers
+/// that produce and consume the failure taxonomy.
+pub const OUTCOME_CRATES: &[&str] = &["measure", "analysis"];
+
+/// Calls whose return value carries a typed lookup [`Outcome`] and must not
+/// be dropped with `let _ =`.
+const D6_CALLS: &[&str] = &[
+    "resolve(",
+    "resolve_with(",
+    "whoami(",
+    "whoami_with(",
+    "run_experiment",
+];
 
 /// Methods whose receiver's iteration order escapes into program behaviour.
 const D1_METHODS: &[&str] = &[
@@ -68,6 +86,8 @@ pub enum Rule {
     D4,
     /// Missing `#![forbid(unsafe_code)]` in a crate root.
     D5,
+    /// `let _ =` discarding an experiment result's typed `Outcome`.
+    D6,
     /// Malformed allow-marker (a marker is itself subject to lint).
     Marker,
 }
@@ -81,6 +101,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::D5 => "D5",
+            Rule::D6 => "D6",
             Rule::Marker => "marker",
         }
     }
@@ -93,6 +114,7 @@ impl Rule {
             "D3" | "d3" => Some(Rule::D3),
             "D4" | "d4" => Some(Rule::D4),
             "D5" | "d5" => Some(Rule::D5),
+            "D6" | "d6" => Some(Rule::D6),
             _ => None,
         }
     }
@@ -151,6 +173,10 @@ impl FileCtx {
 
     fn hot(&self) -> bool {
         HOT_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn outcome(&self) -> bool {
+        OUTCOME_CRATES.contains(&self.crate_name.as_str())
     }
 }
 
@@ -631,10 +657,52 @@ pub fn scan_file(file: &str, source: &str, ctx: &FileCtx) -> Vec<Finding> {
                 }
             }
         }
+
+        if ctx.outcome() {
+            // D6: `let _ =` on an experiment call throws its typed Outcome
+            // away. The discarded expression may wrap onto following lines;
+            // gather through the statement's terminating `;`.
+            if let Some(at) = find_let_discard(code) {
+                let mut rhs = code[at..].to_string();
+                let mut j = i;
+                while !rhs.contains(';') && j + 1 < scan.code.len() && j - i < 8 {
+                    j += 1;
+                    rhs.push_str(&scan.code[j]);
+                }
+                if let Some(call) = D6_CALLS.iter().find(|c| rhs.contains(*c)) {
+                    push(
+                        Rule::D6,
+                        format!(
+                            "`let _ =` discards the typed Outcome of `{}`; record it in the \
+                             dataset or propagate it",
+                            call.trim_end_matches('(')
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+        }
     }
 
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Position right after a `let _ =` wildcard discard, if the line has one.
+/// Named discards (`let _timing = …`) keep the value inspectable in a
+/// debugger and do not fire.
+fn find_let_discard(code: &str) -> Option<usize> {
+    const NEEDLE: &str = "let _ =";
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(NEEDLE) {
+        let at = from + pos;
+        let before = code[..at].chars().next_back();
+        if before.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_')) {
+            return Some(at + NEEDLE.len());
+        }
+        from = at + NEEDLE.len();
+    }
+    None
 }
 
 /// Position right after a `for ` keyword token, if the line has one.

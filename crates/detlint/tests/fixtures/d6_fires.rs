@@ -1,0 +1,10 @@
+// D6 fixture: exactly one discarded experiment Outcome. The ping/trace/
+// writeln discards are the sanctioned idiom and must stay quiet.
+use std::fmt::Write as _;
+
+pub fn run(net: &mut Net, node: u32, resolver: u32, out: &mut String) {
+    let _ = net.ping_train(node, resolver, 3);
+    let _ = net.traceroute(node, resolver, 30);
+    let _ = writeln!(out, "probing {resolver}");
+    let _ = resolve(net, node, resolver);
+}

@@ -9,6 +9,7 @@ const D2: &str = include_str!("fixtures/d2_fires.rs");
 const D3: &str = include_str!("fixtures/d3_fires.rs");
 const D4: &str = include_str!("fixtures/d4_fires.rs");
 const D5: &str = include_str!("fixtures/d5_fires.rs");
+const D6: &str = include_str!("fixtures/d6_fires.rs");
 const ALLOWED: &str = include_str!("fixtures/allowed.rs");
 const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
 
@@ -57,6 +58,45 @@ fn d5_fires_exactly_once_on_crate_roots_only() {
     assert_eq!(rules(&f), vec![Rule::D5], "{f:?}");
     // The same file as a non-root module is fine: D5 is a root obligation.
     assert!(scan_file("d5_fires.rs", D5, &sim_hot()).is_empty());
+}
+
+#[test]
+fn d6_fires_exactly_once_in_outcome_crates() {
+    // The fixture discards pings, traceroutes, and a writeln — sanctioned —
+    // plus exactly one resolve() Outcome, which must fire.
+    let f = scan_file("d6_fires.rs", D6, &FileCtx::new("measure", false));
+    assert_eq!(rules(&f), vec![Rule::D6], "{f:?}");
+    assert_eq!(f[0].line, 9);
+    assert!(f[0].message.contains("resolve"), "{}", f[0].message);
+    // Same scope for the analysis layer.
+    let f = scan_file("d6_fires.rs", D6, &FileCtx::new("analysis", false));
+    assert_eq!(rules(&f), vec![Rule::D6], "{f:?}");
+    // Out of scope: the DNS client itself may discard internally.
+    assert!(scan_file("d6_fires.rs", D6, &FileCtx::new("dnssim", false)).is_empty());
+}
+
+#[test]
+fn d6_catches_discards_wrapped_across_lines() {
+    let src = "\
+pub fn f(net: &mut Net) {
+    let _ =
+        resolve_with(net, 0, 1, &name, qtype, &policy);
+}
+";
+    let f = scan_file("x.rs", src, &FileCtx::new("measure", false));
+    assert_eq!(rules(&f), vec![Rule::D6], "{f:?}");
+}
+
+#[test]
+fn d6_spares_named_bindings_and_used_results() {
+    let src = "\
+pub fn f(net: &mut Net) {
+    let lookup = resolve(net, 0, 1);
+    let _timing = resolve(net, 0, 2);
+    record(lookup.outcome);
+}
+";
+    assert!(scan_file("x.rs", src, &FileCtx::new("measure", false)).is_empty());
 }
 
 #[test]

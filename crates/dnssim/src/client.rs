@@ -1,28 +1,152 @@
 //! Client-side DNS driver: issue a query from a node, run the engine until
 //! the response arrives, and report timing — the primitive every experiment
 //! in the measurement suite builds on.
+//!
+//! Two retry disciplines coexist:
+//!
+//! * the **classic** fixed three-attempt ladder (the seed behaviour, kept
+//!   byte-for-byte so fault-free campaigns replay unchanged), and
+//! * a **hardened** path for hostile networks: exponential backoff with
+//!   seed-derived jitter, TCP fallback on truncated answers, and failover
+//!   to the next configured resolver — all under one overall deadline that
+//!   no attempt schedule may overrun.
+//!
+//! Every resolution is classified into a typed [`Outcome`] so failed
+//! experiments are counted, not silently dropped.
 
 use crate::authority::DNS_PORT;
+use crate::tcp::DNS_TCP_PORT;
 use dnswire::builder::QueryBuilder;
 use dnswire::message::{Message, Rcode};
 use dnswire::name::DnsName;
 use dnswire::rdata::RecordType;
 use netsim::engine::{FlowResult, Network};
+use netsim::tcplite::{TcpFailure, TcpFetch};
 use netsim::time::{SimDuration, SimTime};
 use netsim::topo::NodeId;
 use rand::Rng;
 use std::net::Ipv4Addr;
 
-/// Default client-side resolution timeout (total, across retries).
+/// Default client-side resolution timeout (total, across retries,
+/// backoff, TCP fallback, and failover).
 pub const QUERY_TIMEOUT: SimDuration = SimDuration::from_secs(5);
 
-/// Per-attempt timeouts of the stub resolver: like a phone's resolver it
-/// retries lost queries with backoff (radio links drop packets).
+/// Per-attempt timeouts of the classic stub resolver: like a phone's
+/// resolver it retries lost queries with backoff (radio links drop
+/// packets). The ladder sums to exactly [`QUERY_TIMEOUT`]; the boundary
+/// test below keeps it that way.
 const ATTEMPT_TIMEOUTS: [SimDuration; 3] = [
     SimDuration::from_secs(1),
     SimDuration::from_secs(2),
     SimDuration::from_secs(2),
 ];
+
+/// First-attempt timeout of the hardened exponential ladder; attempt `k`
+/// waits `BASE << k`, clamped to the remaining deadline.
+const HARDENED_BASE_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+/// Base backoff pause before retry `k` (`BASE << (k-1)`, jittered).
+const HARDENED_BACKOFF_BASE: SimDuration = SimDuration::from_millis(500);
+/// Exponent cap for both ladders (beyond this they stay flat).
+const HARDENED_MAX_SHIFT: u32 = 2;
+/// UDP attempts per resolver on the hardened path; kept low so the
+/// deadline leaves room to fail over.
+const HARDENED_ATTEMPTS: u32 = 2;
+/// Smallest remaining budget worth launching another attempt for.
+const MIN_ATTEMPT_BUDGET: SimDuration = SimDuration::from_millis(50);
+
+/// How a resolution concluded. `Ok`, `TruncatedRecovered`, and
+/// `FailedOver` carry an answer; the rest are failures, counted the way
+/// the paper counts its 8.1M resolutions instead of silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Outcome {
+    /// The queried resolver answered over UDP.
+    #[default]
+    Ok,
+    /// The UDP answer was truncated; the TCP retry recovered it.
+    TruncatedRecovered,
+    /// The queried resolver failed but a fallback resolver answered.
+    FailedOver,
+    /// Every path ended in SERVFAIL.
+    ServFail,
+    /// The resolver address was unreachable (ICMP error back).
+    Unreachable,
+    /// Every attempt timed out inside the overall deadline.
+    Timeout,
+}
+
+impl Outcome {
+    /// Every outcome, in canonical (CSV/report) order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Ok,
+        Outcome::TruncatedRecovered,
+        Outcome::FailedOver,
+        Outcome::ServFail,
+        Outcome::Unreachable,
+        Outcome::Timeout,
+    ];
+
+    /// Stable lowercase label used in CSV exports and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::TruncatedRecovered => "truncated-recovered",
+            Outcome::FailedOver => "failed-over",
+            Outcome::ServFail => "servfail",
+            Outcome::Unreachable => "unreachable",
+            Outcome::Timeout => "timeout",
+        }
+    }
+
+    /// Whether the lookup produced a usable answer (possibly degraded).
+    pub fn answered(self) -> bool {
+        matches!(
+            self,
+            Outcome::Ok | Outcome::TruncatedRecovered | Outcome::FailedOver
+        )
+    }
+}
+
+/// Retry discipline of [`resolve_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffMode {
+    /// The seed's fixed `[1s, 2s, 2s]` ladder, no pauses between attempts.
+    FixedLadder,
+    /// Exponential timeouts with a jittered pause before each retry.
+    ExponentialJitter,
+}
+
+/// What the stub resolver is allowed to do when the network misbehaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPolicy {
+    /// Retry/backoff discipline.
+    pub backoff: BackoffMode,
+    /// Retry truncated answers over TCP.
+    pub tcp_fallback: bool,
+    /// Resolvers to fail over to, in order, after the primary is spent.
+    pub fallbacks: Vec<Ipv4Addr>,
+}
+
+impl ClientPolicy {
+    /// The seed behaviour: fixed ladder, no TCP, no failover. Runs
+    /// byte-identically to the pre-fault-injection client.
+    pub fn classic() -> Self {
+        ClientPolicy {
+            backoff: BackoffMode::FixedLadder,
+            tcp_fallback: false,
+            fallbacks: Vec::new(),
+        }
+    }
+
+    /// The hardened path: exponential backoff + jitter, TCP fallback, and
+    /// failover through `fallbacks`.
+    pub fn hardened(fallbacks: Vec<Ipv4Addr>) -> Self {
+        ClientPolicy {
+            backoff: BackoffMode::ExponentialJitter,
+            tcp_fallback: true,
+            fallbacks,
+        }
+    }
+}
 
 /// The outcome of one client resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +155,7 @@ pub struct DnsLookup {
     pub qname: DnsName,
     /// Record type queried.
     pub qtype: RecordType,
-    /// Resolver address queried.
+    /// Resolver address queried (the primary, when failover happened).
     pub resolver: Ipv4Addr,
     /// When the query was sent.
     pub sent_at: SimTime,
@@ -39,6 +163,8 @@ pub struct DnsLookup {
     pub elapsed: Option<SimDuration>,
     /// Decoded response, when one arrived and parsed.
     pub response: Option<Message>,
+    /// How the resolution concluded.
+    pub outcome: Outcome,
 }
 
 impl DnsLookup {
@@ -66,9 +192,73 @@ impl DnsLookup {
     }
 }
 
-/// Issues one A-record lookup from `node` against `resolver` and runs the
-/// simulation until it completes.
+/// Timeout granted to hardened attempt `k`: `BASE << k`, capped, and
+/// clamped so the attempt never outlives the overall deadline.
+fn attempt_timeout(attempt: u32, remaining: SimDuration) -> SimDuration {
+    let base = HARDENED_BASE_TIMEOUT * (1u64 << attempt.min(HARDENED_MAX_SHIFT));
+    base.min(remaining)
+}
+
+/// Backoff pause before hardened retry `k` (zero before the first
+/// attempt): `BASE << (k-1)` scaled by `jitter_x1000/1000` (the caller
+/// draws jitter in `[500, 1000)` from the seeded stream), clamped to the
+/// remaining deadline.
+fn backoff_pause(attempt: u32, jitter_x1000: u64, remaining: SimDuration) -> SimDuration {
+    if attempt == 0 {
+        return SimDuration::ZERO;
+    }
+    let base = HARDENED_BACKOFF_BASE * (1u64 << (attempt - 1).min(HARDENED_MAX_SHIFT));
+    let jittered = SimDuration::from_micros(base.as_micros() * jitter_x1000 / 1_000);
+    jittered.min(remaining)
+}
+
+/// Builds and encodes one query, advertising the standard EDNS size.
+fn encode_query(id: u16, qname: &DnsName, qtype: RecordType) -> Vec<u8> {
+    let mut query = QueryBuilder::new(id, qname.to_string(), qtype)
+        .recursion_desired(true)
+        .build()
+        // detlint: allow(D4) -- query names come from the static
+        // experiment catalog validated at world build; a bad name is a
+        // driver bug
+        .expect("valid query name");
+    query.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
+    // detlint: allow(D4) -- encode of a query built two lines up from an
+    // already-validated name
+    query.encode().expect("query encodes")
+}
+
+/// Issues one A-record lookup from `node` against `resolver` with the
+/// classic policy and runs the simulation until it completes.
 pub fn resolve(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    qname: &DnsName,
+    qtype: RecordType,
+) -> DnsLookup {
+    resolve_with(net, node, resolver, qname, qtype, &ClientPolicy::classic())
+}
+
+/// Issues one lookup under the given [`ClientPolicy`].
+pub fn resolve_with(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    qname: &DnsName,
+    qtype: RecordType,
+    policy: &ClientPolicy,
+) -> DnsLookup {
+    match policy.backoff {
+        BackoffMode::FixedLadder => resolve_classic(net, node, resolver, qname, qtype),
+        BackoffMode::ExponentialJitter => {
+            resolve_hardened(net, node, resolver, qname, qtype, policy)
+        }
+    }
+}
+
+/// The seed's fixed-ladder loop, unchanged so fault-free campaigns replay
+/// byte-identically: one id draw per attempt, no pauses, no fallback.
+fn resolve_classic(
     net: &mut Network,
     node: NodeId,
     resolver: Ipv4Addr,
@@ -80,17 +270,7 @@ pub fn resolve(
     let mut elapsed = None;
     for timeout in ATTEMPT_TIMEOUTS {
         let id: u16 = net.rng().gen();
-        let mut query = QueryBuilder::new(id, qname.to_string(), qtype)
-            .recursion_desired(true)
-            .build()
-            // detlint: allow(D4) -- query names come from the static
-            // experiment catalog validated at world build; a bad name is a
-            // driver bug
-            .expect("valid query name");
-        query.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
-        // detlint: allow(D4) -- encode of a query built two lines up from an
-        // already-validated name
-        let payload = query.encode().expect("query encodes");
+        let payload = encode_query(id, qname, qtype);
         let flow = net.udp_request(node, resolver, DNS_PORT, payload, timeout);
         let outcome = net.run_until(flow);
         if let FlowResult::Response { payload, .. } = outcome.result {
@@ -105,6 +285,11 @@ pub fn resolve(
             }
         }
     }
+    let outcome = match &response {
+        None => Outcome::Timeout,
+        Some(m) if m.header.rcode == Rcode::ServFail => Outcome::ServFail,
+        Some(_) => Outcome::Ok,
+    };
     DnsLookup {
         qname: qname.clone(),
         qtype,
@@ -112,7 +297,175 @@ pub fn resolve(
         sent_at,
         elapsed,
         response,
+        outcome,
     }
+}
+
+/// The hardened loop: exponential backoff with seed-derived jitter, TCP
+/// fallback on truncation, failover through `policy.fallbacks` — all
+/// inside one [`QUERY_TIMEOUT`] deadline.
+fn resolve_hardened(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    qname: &DnsName,
+    qtype: RecordType,
+    policy: &ClientPolicy,
+) -> DnsLookup {
+    let sent_at = net.now();
+    let deadline = sent_at + QUERY_TIMEOUT;
+    let mut response = None;
+    let mut elapsed = None;
+    let mut answered_via: Option<usize> = None;
+    let mut recovered_via_tcp = false;
+    let mut last_servfail: Option<(Message, SimDuration)> = None;
+    let mut saw_unreachable = false;
+    let chain: Vec<Ipv4Addr> = std::iter::once(resolver)
+        .chain(policy.fallbacks.iter().copied())
+        .collect();
+    'chain: for (ri, &raddr) in chain.iter().enumerate() {
+        for attempt in 0..HARDENED_ATTEMPTS {
+            if attempt > 0 {
+                let jitter: u64 = net.rng().gen_range(500..1_000);
+                let pause = backoff_pause(attempt, jitter, deadline.since(net.now()));
+                if pause > SimDuration::ZERO {
+                    let resume = net.now() + pause;
+                    net.skip_to(resume);
+                }
+            }
+            let remaining = deadline.since(net.now());
+            if remaining < MIN_ATTEMPT_BUDGET {
+                break 'chain;
+            }
+            let timeout = attempt_timeout(attempt, remaining);
+            let id: u16 = net.rng().gen();
+            let payload = encode_query(id, qname, qtype);
+            let flow = net.udp_request(node, raddr, DNS_PORT, payload, timeout);
+            let flow_outcome = net.run_until(flow);
+            match flow_outcome.result {
+                FlowResult::Response { payload, .. } => {
+                    let Some(msg) = Message::decode(&payload).ok().filter(|m| m.header.id == id)
+                    else {
+                        continue; // spoofed or garbled: retry
+                    };
+                    if msg.header.flags.truncated && policy.tcp_fallback {
+                        match resolve_over_tcp(net, node, raddr, qname, qtype, deadline) {
+                            Ok(full) => {
+                                elapsed = Some(net.now().since(sent_at));
+                                response = Some(full);
+                                answered_via = Some(ri);
+                                recovered_via_tcp = true;
+                                break 'chain;
+                            }
+                            // An active refusal will not heal: fail over.
+                            Err(Some(TcpFailure::Refused | TcpFailure::Reset)) => {
+                                continue 'chain;
+                            }
+                            // Lost in transit: keep trying UDP.
+                            Err(_) => {}
+                        }
+                    } else if msg.header.rcode == Rcode::ServFail {
+                        last_servfail = Some((msg, flow_outcome.completed_at.since(sent_at)));
+                        // Retrying the same broken resolver rarely helps.
+                        continue 'chain;
+                    } else {
+                        elapsed = Some(flow_outcome.completed_at.since(sent_at));
+                        response = Some(msg);
+                        answered_via = Some(ri);
+                        break 'chain;
+                    }
+                }
+                FlowResult::Unreachable { .. } => {
+                    saw_unreachable = true;
+                    continue 'chain;
+                }
+                // Timed out (or a stray ICMP): next attempt.
+                _ => {}
+            }
+        }
+    }
+    let outcome = match answered_via {
+        Some(0) if recovered_via_tcp => Outcome::TruncatedRecovered,
+        Some(0) => Outcome::Ok,
+        Some(_) => Outcome::FailedOver,
+        None if last_servfail.is_some() => Outcome::ServFail,
+        None if saw_unreachable => Outcome::Unreachable,
+        None => Outcome::Timeout,
+    };
+    if answered_via.is_none() {
+        if let Some((msg, at)) = last_servfail {
+            response = Some(msg);
+            elapsed = Some(at);
+        }
+    }
+    DnsLookup {
+        qname: qname.clone(),
+        qtype,
+        resolver,
+        sent_at,
+        elapsed,
+        response,
+        outcome,
+    }
+}
+
+/// Retries a truncated lookup over TCP (RFC 1035 §4.2.2 framing) against
+/// the same resolver address, bounded by the overall `deadline`. Returns
+/// the full answer, or the typed TCP failure when the connection died.
+fn resolve_over_tcp(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    qname: &DnsName,
+    qtype: RecordType,
+    deadline: SimTime,
+) -> Result<Message, Option<TcpFailure>> {
+    let remaining = deadline.since(net.now());
+    if remaining < MIN_ATTEMPT_BUDGET {
+        return Err(None);
+    }
+    let id: u16 = net.rng().gen();
+    let payload = encode_query(id, qname, qtype);
+    let mut framed = Vec::with_capacity(payload.len() + 2);
+    framed.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    framed.extend_from_slice(&payload);
+    let port = net.alloc_client_port(node);
+    net.register_service(
+        node,
+        port,
+        Box::new(TcpFetch::new(resolver, DNS_TCP_PORT, framed)),
+    );
+    net.kick_service(node, port);
+    let mut result: Result<Vec<u8>, Option<TcpFailure>> = Err(None);
+    loop {
+        if let Some(fetch) = net.service_as::<TcpFetch>(node, port) {
+            if let Some(outcome) = fetch.outcome {
+                result = if outcome.success {
+                    Ok(fetch.data.clone())
+                } else {
+                    Err(outcome.failure)
+                };
+                break;
+            }
+        }
+        if net.now() > deadline || !net.step() {
+            break;
+        }
+    }
+    net.unregister_service(node, port);
+    let data = result?;
+    // Unwrap the 2-byte length prefix and decode.
+    if data.len() < 2 {
+        return Err(None);
+    }
+    let len = u16::from_be_bytes([data[0], data[1]]) as usize;
+    if data.len() < 2 + len {
+        return Err(None);
+    }
+    Message::decode(&data[2..2 + len])
+        .ok()
+        .filter(|m| m.header.id == id && !m.header.flags.truncated)
+        .ok_or(None)
 }
 
 /// Issues a whoami probe: a unique nonce label under the probe zone, so no
@@ -124,20 +477,122 @@ pub fn whoami(
     resolver: Ipv4Addr,
     probe_zone: &DnsName,
 ) -> (DnsLookup, Option<Ipv4Addr>) {
+    whoami_with(net, node, resolver, probe_zone, &ClientPolicy::classic())
+}
+
+/// [`whoami`] under an explicit policy. Failover makes no sense here (a
+/// fallback resolver's egress would masquerade as the primary's), so any
+/// configured fallbacks are ignored.
+pub fn whoami_with(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    probe_zone: &DnsName,
+    policy: &ClientPolicy,
+) -> (DnsLookup, Option<Ipv4Addr>) {
     let nonce: u64 = net.rng().gen();
     let qname = probe_zone
         .child(&format!("x{nonce:016x}"))
         // detlint: allow(D4) -- the nonce label is fixed-width hex, always a
         // valid DNS label
         .expect("nonce label is valid");
-    let lookup = resolve(net, node, resolver, &qname, RecordType::A);
+    let no_failover = ClientPolicy {
+        fallbacks: Vec::new(),
+        ..policy.clone()
+    };
+    let lookup = resolve_with(net, node, resolver, &qname, RecordType::A, &no_failover);
     let external = lookup.addrs().first().copied();
     (lookup, external)
 }
 
 #[cfg(test)]
 mod tests {
-    // Exercised end-to-end in tests/resolution.rs, where a full hierarchy
-    // exists. Unit-level behaviour (encode, id matching) is covered by the
-    // dnswire tests.
+    // Network-level behaviour is exercised end-to-end in tests/resolution.rs
+    // (full hierarchy) and the workspace fault tests; here we pin the
+    // deadline arithmetic both ladders must respect.
+    use super::*;
+
+    #[test]
+    fn classic_ladder_fits_the_deadline_exactly() {
+        let total = ATTEMPT_TIMEOUTS
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &t| acc + t);
+        assert_eq!(total, QUERY_TIMEOUT, "ladder must sum to the deadline");
+    }
+
+    #[test]
+    fn hardened_schedule_never_overruns_the_deadline() {
+        // Worst case: every attempt times out and every pause draws the
+        // largest jitter. Walk the schedule the way resolve_hardened does
+        // and check the granted budget never exceeds QUERY_TIMEOUT.
+        for resolvers in 1..=3u32 {
+            for jitter in [500u64, 750, 999] {
+                let mut remaining = QUERY_TIMEOUT;
+                let mut spent = SimDuration::ZERO;
+                for _ in 0..resolvers {
+                    for attempt in 0..HARDENED_ATTEMPTS {
+                        let pause = backoff_pause(attempt, jitter, remaining);
+                        spent += pause;
+                        remaining = remaining - pause;
+                        if remaining < MIN_ATTEMPT_BUDGET {
+                            break;
+                        }
+                        let t = attempt_timeout(attempt, remaining);
+                        spent += t;
+                        remaining = remaining - t;
+                    }
+                }
+                assert!(
+                    spent <= QUERY_TIMEOUT,
+                    "schedule overran: spent {spent} of {QUERY_TIMEOUT}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_timeout_is_exponential_then_clamped() {
+        let plenty = SimDuration::from_secs(60);
+        assert_eq!(attempt_timeout(0, plenty), SimDuration::from_secs(1));
+        assert_eq!(attempt_timeout(1, plenty), SimDuration::from_secs(2));
+        assert_eq!(attempt_timeout(2, plenty), SimDuration::from_secs(4));
+        // Exponent cap: attempt 5 is no longer than attempt 2.
+        assert_eq!(attempt_timeout(5, plenty), SimDuration::from_secs(4));
+        // Deadline clamp: the boundary case from the satellite issue.
+        let tight = SimDuration::from_millis(120);
+        assert_eq!(attempt_timeout(3, tight), tight);
+    }
+
+    #[test]
+    fn backoff_pause_jitters_and_clamps() {
+        let plenty = SimDuration::from_secs(60);
+        assert_eq!(backoff_pause(0, 999, plenty), SimDuration::ZERO);
+        assert_eq!(
+            backoff_pause(1, 1_000, plenty),
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(backoff_pause(1, 500, plenty), SimDuration::from_millis(250));
+        assert_eq!(backoff_pause(2, 1_000, plenty), SimDuration::from_secs(1));
+        // Clamped to what's left of the deadline.
+        let tight = SimDuration::from_millis(10);
+        assert_eq!(backoff_pause(3, 999, tight), tight);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        let labels: Vec<&str> = Outcome::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "ok",
+                "truncated-recovered",
+                "failed-over",
+                "servfail",
+                "unreachable",
+                "timeout"
+            ]
+        );
+        assert!(Outcome::TruncatedRecovered.answered());
+        assert!(!Outcome::ServFail.answered());
+    }
 }

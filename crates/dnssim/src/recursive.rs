@@ -15,6 +15,30 @@ use netsim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
+/// Server-side fault injection knobs for a resolver instance. All
+/// default to inert; an inert configuration draws nothing from any RNG,
+/// so fault-free worlds replay byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServerFaults {
+    /// Probability a client query is answered SERVFAIL outright (resolver
+    /// pool member in distress).
+    pub servfail_prob: f64,
+    /// Probability a UDP answer is forcibly truncated (TC bit, records
+    /// stripped), pushing the client to TCP. Queries advertising an EDNS
+    /// payload above the default size — the TCP relay path — are exempt.
+    pub truncate_prob: f64,
+    /// Periodic window during which the resolver silently drops every
+    /// client query (maintenance/overload blackout).
+    pub unresponsive: Option<netsim::fault::Window>,
+}
+
+impl ServerFaults {
+    /// Whether any knob is turned.
+    pub fn is_active(&self) -> bool {
+        self.servfail_prob > 0.0 || self.truncate_prob > 0.0 || self.unresponsive.is_some()
+    }
+}
+
 /// Configuration of a recursive resolver instance.
 #[derive(Debug, Clone)]
 pub struct ResolverConfig {
@@ -37,6 +61,8 @@ pub struct ResolverConfig {
     pub proc_delay: SimDuration,
     /// Ambient background-load model for the cache (see `cache` docs).
     pub ambient: Option<AmbientModel>,
+    /// Server-side fault injection (inert by default).
+    pub faults: ServerFaults,
 }
 
 impl ResolverConfig {
@@ -51,6 +77,7 @@ impl ResolverConfig {
             inflight_deadline: SimDuration::from_secs(5),
             proc_delay: SimDuration::from_micros(300),
             ambient: None,
+            faults: ServerFaults::default(),
         }
     }
 }
@@ -66,6 +93,12 @@ pub struct ResolverStats {
     pub cache_answers: u64,
     /// ServFail responses produced.
     pub servfails: u64,
+    /// Client queries silently dropped by an unresponsive-window fault.
+    pub fault_dropped: u64,
+    /// SERVFAILs injected by the fault configuration.
+    pub fault_servfails: u64,
+    /// Answers forcibly truncated by the fault configuration.
+    pub fault_truncations: u64,
 }
 
 #[derive(Debug)]
@@ -94,6 +127,8 @@ struct InFlight {
     /// Deadline of the *current* upstream attempt; blowing it triggers a
     /// retry against the next candidate server.
     deadline: SimTime,
+    /// Fault injection decided this reply must come back truncated.
+    truncate: bool,
 }
 
 const MAX_STEPS: u8 = 24;
@@ -279,7 +314,14 @@ impl RecursiveResolver {
         header.rcode = rcode;
         let mut msg = Message::new(header);
         msg.questions.push(fl.question.clone());
-        msg.answers = answers;
+        // A fault-truncated reply carries the TC bit and no records
+        // (RFC 1035 §6.2): the client must retry over TCP.
+        if fl.truncate && rcode == Rcode::NoError && !answers.is_empty() {
+            self.stats.fault_truncations += 1;
+            msg.header.flags.truncated = true;
+        } else {
+            msg.answers = answers;
+        }
         Egress::reply(
             fl.client,
             fl.client_port,
@@ -334,6 +376,14 @@ impl RecursiveResolver {
         out: &mut Vec<Egress>,
     ) {
         self.stats.client_queries += 1;
+        // Unresponsive-window fault: the pool member is blacked out and the
+        // query vanishes (the client's retry ladder deals with it).
+        if let Some(w) = self.config.faults.unresponsive {
+            if w.contains(ctx.now) {
+                self.stats.fault_dropped += 1;
+                return;
+            }
+        }
         let Some(question) = query.questions.first().cloned() else {
             let resp = ResponseBuilder::for_query(&query)
                 .rcode(Rcode::FormErr)
@@ -349,6 +399,45 @@ impl RecursiveResolver {
             ));
             return;
         };
+        // Fault draws happen only when the knob is turned, so inert
+        // configurations leave the engine RNG stream untouched.
+        let inject_servfail = self.config.faults.servfail_prob > 0.0 && {
+            use rand::Rng;
+            ctx.rng.gen_bool(self.config.faults.servfail_prob)
+        };
+        if inject_servfail {
+            self.stats.fault_servfails += 1;
+            let fl = InFlight {
+                client: from,
+                client_port: from_port,
+                client_id: query.header.id,
+                reply_from: ctx.local_addr,
+                question,
+                chain: Vec::new(),
+                egress: None,
+                ecs: None,
+                current: DnsName::root(),
+                servers: Vec::new(),
+                steps: 0,
+                retries: 0,
+                deadline: ctx.now,
+                truncate: false,
+            };
+            out.push(self.reply(&fl, Rcode::ServFail, Vec::new()));
+            return;
+        }
+        // Forced truncation: decided up front, applied when the final
+        // NOERROR answer is built. Queries advertising more than the
+        // default EDNS payload (the DNS-over-TCP relay) are exempt.
+        let truncate = self.config.faults.truncate_prob > 0.0
+            && query
+                .edns_udp_size()
+                .unwrap_or(dnswire::edns::CLASSIC_UDP_LIMIT as u16)
+                <= dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE
+            && {
+                use rand::Rng;
+                ctx.rng.gen_bool(self.config.faults.truncate_prob)
+            };
         let ecs = query
             .client_subnet()
             .filter(|(_, source, _)| *source > 0)
@@ -370,6 +459,7 @@ impl RecursiveResolver {
                 steps: 0,
                 retries: 0,
                 deadline: ctx.now,
+                truncate,
             };
             out.push(self.reply(&fl, rcode, answers));
             return;
@@ -397,6 +487,7 @@ impl RecursiveResolver {
             steps: 0,
             retries: 0,
             deadline: ctx.now + self.config.inflight_deadline,
+            truncate,
         };
         self.query_upstream(fl, out);
     }

@@ -1,0 +1,402 @@
+//! DNS-over-TCP front end: a TCP-lite listener that accepts a
+//! length-prefixed query (RFC 1035 §4.2.2 framing), relays it over UDP to
+//! the DNS service on its own node, and streams the answer back over the
+//! connection.
+//!
+//! This is the server half of the stub resolver's TC-bit fallback: when a
+//! UDP answer comes back truncated, the client reconnects over TCP to the
+//! *same* address it queried, so every client-facing resolver node (carrier
+//! forwarders, public DNS sites) registers one of these next to its UDP
+//! service. The relayed query advertises the maximum EDNS payload size —
+//! TCP has no 512-byte problem — which also exempts it from forced
+//! truncation faults.
+//!
+//! Registering the service is free: it emits no events until a client
+//! actually connects, so worlds built without fault injection are
+//! byte-identical to worlds that never load this module.
+
+use crate::authority::DNS_PORT;
+use dnswire::message::Message;
+use netsim::engine::{Egress, ServiceCtx, UdpService};
+use netsim::tcplite::{Segment, ACK, FIN, MSS, RST, SYN};
+use netsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Well-known port of the DNS-over-TCP front end (the simulator keeps TCP
+/// and UDP service ports in one namespace, so TCP/53 gets its own number).
+pub const DNS_TCP_PORT: u16 = 10_053;
+
+/// Retransmission timeout (mirrors `tcplite`'s).
+const RTO: SimDuration = SimDuration::from_millis(250);
+/// Retransmission attempts before a connection is abandoned.
+const MAX_RETRIES: u32 = 6;
+/// How long a relayed query may stay unanswered before its connection is
+/// torn down (the local resolver answers or SERVFAILs well before this).
+const RELAY_DEADLINE: SimDuration = SimDuration::from_secs(6);
+
+#[derive(Debug, PartialEq, Eq)]
+enum ConnState {
+    SynRcvd,
+    Established,
+    /// Response fully sent, FIN emitted, waiting for its ACK.
+    FinWait,
+}
+
+#[derive(Debug)]
+struct Conn {
+    state: ConnState,
+    /// Next sequence number made available to send (ISN 0, SYN takes 1).
+    next_seq: u32,
+    /// First unacknowledged sequence number.
+    send_base: u32,
+    /// Next byte expected from the peer.
+    peer_next: u32,
+    /// Request bytes accepted in order.
+    buf: Vec<u8>,
+    /// Length-prefixed response, once the relay answered.
+    response: Option<Vec<u8>>,
+    /// Relay transaction id, once the query has been forwarded.
+    txn: Option<u16>,
+    /// When the connection was opened (relay-deadline anchor).
+    opened: SimTime,
+    rto_at: Option<SimTime>,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct PendingRelay {
+    key: (Ipv4Addr, u16),
+    /// The client's original query id, restored on the way back.
+    orig_id: u16,
+}
+
+/// Counters describing what the TCP front end did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TcpDnsStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Queries relayed to the local UDP resolver.
+    pub relayed: u64,
+    /// Responses streamed back to clients.
+    pub answered: u64,
+    /// Connections abandoned (retry exhaustion or relay deadline).
+    pub aborts: u64,
+}
+
+/// The DNS-over-TCP listener; see the module docs.
+#[derive(Debug, Default)]
+pub struct TcpDnsServer {
+    conns: BTreeMap<(Ipv4Addr, u16), Conn>,
+    pending: BTreeMap<u16, PendingRelay>,
+    next_txn: u16,
+    /// Endpoint statistics.
+    pub stats: TcpDnsStats,
+}
+
+impl TcpDnsServer {
+    /// A fresh listener.
+    pub fn new() -> Self {
+        TcpDnsServer::default()
+    }
+
+    fn alloc_txn(&mut self) -> u16 {
+        // Linear scan is fine: a node has at most a handful of connections
+        // in flight at once.
+        loop {
+            self.next_txn = self.next_txn.wrapping_add(1);
+            if !self.pending.contains_key(&self.next_txn) {
+                return self.next_txn;
+            }
+        }
+    }
+
+    /// Emits unsent response segments for a connection (go-back-N window
+    /// of one frame: DNS answers fit a few MSS at most).
+    fn pump(
+        conn: &mut Conn,
+        stats: &mut TcpDnsStats,
+        peer: Ipv4Addr,
+        peer_port: u16,
+        now: SimTime,
+        out: &mut Vec<Egress>,
+    ) {
+        let Some(response) = &conn.response else {
+            return;
+        };
+        let total = response.len() as u32;
+        while conn.next_seq - 1 < total {
+            let start = (conn.next_seq - 1) as usize;
+            let end = (start + MSS).min(response.len());
+            let seg = Segment {
+                flags: ACK,
+                seq: conn.next_seq,
+                ack: conn.peer_next,
+                data: response[start..end].to_vec(),
+            };
+            conn.next_seq += (end - start) as u32;
+            out.push(seg_reply(peer, peer_port, &seg));
+        }
+        if conn.next_seq > total && conn.state == ConnState::Established {
+            let fin = Segment::ctl(FIN | ACK, conn.next_seq, conn.peer_next);
+            conn.next_seq += 1;
+            conn.state = ConnState::FinWait;
+            stats.answered += 1;
+            out.push(seg_reply(peer, peer_port, &fin));
+        }
+        if conn.rto_at.is_none() && conn.send_base < conn.next_seq {
+            conn.rto_at = Some(now + RTO);
+        }
+    }
+
+    /// Retransmits everything from `send_base` (go-back-N).
+    fn retransmit(
+        conn: &mut Conn,
+        peer: Ipv4Addr,
+        peer_port: u16,
+        now: SimTime,
+        out: &mut Vec<Egress>,
+    ) {
+        conn.retries += 1;
+        match conn.state {
+            ConnState::SynRcvd => {
+                out.push(seg_reply(
+                    peer,
+                    peer_port,
+                    &Segment::ctl(SYN | ACK, 0, conn.peer_next),
+                ));
+            }
+            ConnState::Established | ConnState::FinWait => {
+                if let Some(response) = &conn.response {
+                    let total = response.len() as u32;
+                    let mut seq = conn.send_base.max(1);
+                    while seq - 1 < total {
+                        let start = (seq - 1) as usize;
+                        let end = (start + MSS).min(response.len());
+                        let seg = Segment {
+                            flags: ACK,
+                            seq,
+                            ack: conn.peer_next,
+                            data: response[start..end].to_vec(),
+                        };
+                        seq += (end - start) as u32;
+                        out.push(seg_reply(peer, peer_port, &seg));
+                    }
+                    if conn.state == ConnState::FinWait && seq > total {
+                        out.push(seg_reply(
+                            peer,
+                            peer_port,
+                            &Segment::ctl(FIN | ACK, seq, conn.peer_next),
+                        ));
+                    }
+                }
+            }
+        }
+        conn.rto_at = Some(now + RTO);
+    }
+
+    /// Tries to parse a complete length-prefixed query out of `conn.buf`
+    /// and relay it to the UDP resolver on this node.
+    fn try_relay(&mut self, key: (Ipv4Addr, u16), local_addr: Ipv4Addr, out: &mut Vec<Egress>) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        if conn.txn.is_some() || conn.buf.len() < 2 {
+            return;
+        }
+        let need = u16::from_be_bytes([conn.buf[0], conn.buf[1]]) as usize;
+        if conn.buf.len() < 2 + need {
+            return;
+        }
+        let Ok(mut query) = Message::decode(&conn.buf[2..2 + need]) else {
+            return;
+        };
+        let orig_id = query.header.id;
+        let txn = self.alloc_txn();
+        // Re-borrow: alloc_txn needed &mut self.
+        if let Some(conn) = self.conns.get_mut(&key) {
+            conn.txn = Some(txn);
+        }
+        self.pending.insert(txn, PendingRelay { key, orig_id });
+        query.header.id = txn;
+        // TCP framing has no UDP size ceiling; advertise accordingly.
+        query.advertise_udp_size(u16::MAX);
+        if let Ok(bytes) = query.encode() {
+            self.stats.relayed += 1;
+            out.push(Egress::reply(
+                local_addr,
+                DNS_PORT,
+                bytes,
+                SimDuration::ZERO,
+            ));
+        }
+    }
+
+    fn arm(&self, ctx: &mut ServiceCtx<'_>) {
+        let rto = self.conns.values().filter_map(|c| c.rto_at).min();
+        let relay = if self.pending.is_empty() {
+            None
+        } else {
+            self.conns
+                .values()
+                .filter(|c| c.txn.is_some() && c.response.is_none())
+                .map(|c| c.opened + RELAY_DEADLINE)
+                .min()
+        };
+        let earliest = match (rto, relay) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(at) = earliest {
+            ctx.wake_after = Some(at.since(ctx.now).max(SimDuration::from_millis(1)));
+        }
+    }
+}
+
+fn seg_reply(to: Ipv4Addr, to_port: u16, seg: &Segment) -> Egress {
+    Egress::reply(to, to_port, seg.encode(), SimDuration::ZERO)
+}
+
+impl UdpService for TcpDnsServer {
+    fn handle(
+        &mut self,
+        ctx: &mut ServiceCtx<'_>,
+        from: Ipv4Addr,
+        from_port: u16,
+        payload: &[u8],
+    ) -> Vec<Egress> {
+        let mut out = Vec::new();
+        // Answers from the co-located UDP resolver come back on port 53;
+        // everything else is a client's TCP segment.
+        if from_port == DNS_PORT {
+            if let Ok(mut msg) = Message::decode(payload) {
+                if let Some(relay) = self.pending.remove(&msg.header.id) {
+                    msg.header.id = relay.orig_id;
+                    if let Ok(bytes) = msg.encode() {
+                        let mut framed = Vec::with_capacity(bytes.len() + 2);
+                        framed.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+                        framed.extend_from_slice(&bytes);
+                        if let Some(conn) = self.conns.get_mut(&relay.key) {
+                            conn.response = Some(framed);
+                            let (peer, peer_port) = relay.key;
+                            Self::pump(conn, &mut self.stats, peer, peer_port, ctx.now, &mut out);
+                        }
+                    }
+                }
+            }
+            self.arm(ctx);
+            return out;
+        }
+        let Some(seg) = Segment::decode(payload) else {
+            return out;
+        };
+        let key = (from, from_port);
+        if seg.flags & RST != 0 {
+            if let Some(conn) = self.conns.remove(&key) {
+                if let Some(txn) = conn.txn {
+                    self.pending.remove(&txn);
+                }
+            }
+            return out;
+        }
+        if seg.flags & SYN != 0 {
+            let now = ctx.now;
+            let conn = self.conns.entry(key).or_insert_with(|| {
+                self.stats.connections += 1;
+                Conn {
+                    state: ConnState::SynRcvd,
+                    next_seq: 1,
+                    send_base: 1,
+                    peer_next: seg.seq + 1,
+                    buf: Vec::new(),
+                    response: None,
+                    txn: None,
+                    opened: now,
+                    rto_at: Some(now + RTO),
+                    retries: 0,
+                }
+            });
+            let syn_ack = Segment::ctl(SYN | ACK, 0, conn.peer_next);
+            out.push(seg_reply(from, from_port, &syn_ack));
+            self.arm(ctx);
+            return out;
+        }
+        let Some(conn) = self.conns.get_mut(&key) else {
+            // No state for this peer: active refusal.
+            out.push(seg_reply(from, from_port, &Segment::ctl(RST, 0, seg.seq)));
+            return out;
+        };
+        if seg.flags & ACK != 0 && seg.ack > conn.send_base {
+            conn.send_base = seg.ack;
+            conn.retries = 0;
+            conn.rto_at = None;
+        }
+        if conn.state == ConnState::SynRcvd && seg.flags & ACK != 0 {
+            conn.state = ConnState::Established;
+        }
+        if conn.state == ConnState::FinWait && conn.send_base >= conn.next_seq {
+            if let Some(txn) = conn.txn {
+                self.pending.remove(&txn);
+            }
+            self.conns.remove(&key);
+            self.arm(ctx);
+            return out;
+        }
+        if !seg.data.is_empty() {
+            if seg.seq == conn.peer_next {
+                conn.peer_next += seg.data.len() as u32;
+                conn.buf.extend_from_slice(&seg.data);
+            }
+            // Ack what we have (covers duplicates and reordering).
+            out.push(seg_reply(
+                from,
+                from_port,
+                &Segment::ctl(ACK, conn.next_seq, conn.peer_next),
+            ));
+            self.try_relay(key, ctx.local_addr, &mut out);
+        }
+        if let Some(conn) = self.conns.get_mut(&key) {
+            Self::pump(conn, &mut self.stats, from, from_port, ctx.now, &mut out);
+        }
+        self.arm(ctx);
+        out
+    }
+
+    fn tick(&mut self, ctx: &mut ServiceCtx<'_>) -> Vec<Egress> {
+        let mut out = Vec::new();
+        let mut drop_keys = Vec::new();
+        for (&(peer, peer_port), conn) in self.conns.iter_mut() {
+            // Relay never answered: give up on the connection.
+            if conn.txn.is_some()
+                && conn.response.is_none()
+                && ctx.now >= conn.opened + RELAY_DEADLINE
+            {
+                drop_keys.push((peer, peer_port));
+                continue;
+            }
+            if let Some(at) = conn.rto_at {
+                if at <= ctx.now {
+                    if conn.retries >= MAX_RETRIES {
+                        drop_keys.push((peer, peer_port));
+                        continue;
+                    }
+                    Self::retransmit(conn, peer, peer_port, ctx.now, &mut out);
+                }
+            }
+        }
+        for key in drop_keys {
+            if let Some(conn) = self.conns.remove(&key) {
+                if let Some(txn) = conn.txn {
+                    self.pending.remove(&txn);
+                }
+            }
+            self.stats.aborts += 1;
+        }
+        self.arm(ctx);
+        out
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

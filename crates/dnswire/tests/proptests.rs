@@ -197,6 +197,54 @@ proptest! {
     }
 
     #[test]
+    fn tc_bit_survives_the_wire(msg in arb_message(), tc in any::<bool>()) {
+        let mut msg = msg;
+        msg.header.flags.truncated = tc;
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        prop_assert_eq!(decoded.header.flags.truncated, tc);
+        // Re-encoding keeps the bit stable too.
+        let again = Message::decode(&decoded.encode().unwrap()).unwrap();
+        prop_assert_eq!(again.header.flags.truncated, tc);
+    }
+
+    #[test]
+    fn truncate_for_roundtrips_and_respects_the_limit(msg in arb_message(), limit in 12usize..1024) {
+        let mut msg = msg;
+        msg.header.flags.truncated = false;
+        let original_len = msg.encode().unwrap().len();
+        let truncated = msg.truncate_for(limit);
+        let bytes = msg.encode().unwrap();
+        if truncated {
+            // Truncation only happens to over-limit messages, sets TC, and
+            // strips every record section.
+            prop_assert!(original_len > limit);
+            prop_assert!(msg.header.flags.truncated);
+            prop_assert!(msg.answers.is_empty());
+            prop_assert!(msg.authorities.is_empty());
+            prop_assert!(msg.additionals.is_empty());
+        } else {
+            prop_assert!(original_len <= limit);
+            prop_assert!(!msg.header.flags.truncated);
+            prop_assert_eq!(bytes.len(), original_len);
+        }
+        // Either way the result still roundtrips with the TC bit intact.
+        let decoded = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.header.flags.truncated, truncated);
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn advertised_udp_size_survives_the_wire(msg in arb_message(), size in any::<u16>()) {
+        let mut msg = msg;
+        // Drop OPT pseudo-records a previous strategy draw may have added.
+        msg.additionals.retain(|rr| !matches!(rr.rdata, RData::Opt(_)));
+        prop_assert_eq!(msg.edns_udp_size(), None);
+        msg.advertise_udp_size(size);
+        let decoded = Message::decode(&msg.encode().unwrap()).unwrap();
+        prop_assert_eq!(decoded.edns_udp_size(), Some(size));
+    }
+
+    #[test]
     fn is_under_is_reflexive_and_monotone(name in arb_name()) {
         prop_assert!(name.is_under(&name));
         prop_assert!(name.is_under(&DnsName::root()));

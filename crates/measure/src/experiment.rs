@@ -10,10 +10,27 @@ use crate::record::{
 };
 use crate::spec::ExperimentSpec;
 use crate::world::{Backbone, CarrierShard, World, GOOGLE_VIP, OPENDNS_VIP};
-use dnssim::client::{resolve, whoami};
+use dnssim::client::{resolve_with, whoami_with, ClientPolicy};
 use dnswire::rdata::RecordType;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+
+/// The client policy an experiment uses against `raddr`. Fault-free worlds
+/// keep the seed's classic fixed-ladder client so their outputs stay
+/// byte-identical; fault profiles switch to the hardened path (exponential
+/// backoff, TCP fallback on truncation, failover to the next public
+/// resolver in the chain).
+fn policy_for(backbone: &Backbone, primary: Ipv4Addr) -> ClientPolicy {
+    if !backbone.config.fault_profile.is_active() {
+        return ClientPolicy::classic();
+    }
+    let fallbacks = if primary == GOOGLE_VIP {
+        vec![OPENDNS_VIP]
+    } else {
+        vec![GOOGLE_VIP]
+    };
+    ClientPolicy::hardened(fallbacks)
+}
 
 /// Runs one experiment for the device at fleet-global index `device_idx`.
 /// `seq` is the device's experiment counter (drives probe subsampling
@@ -85,8 +102,16 @@ pub fn run_experiment_in_shard(
     let attempts = if spec.double_lookup { 2 } else { 1 };
     for (d_idx, entry) in catalog.iter().enumerate() {
         for &(kind, raddr) in &resolvers {
+            let policy = policy_for(backbone, raddr);
             for attempt in 1..=attempts {
-                let lookup = resolve(net, device.node, raddr, &entry.domain, RecordType::A);
+                let lookup = resolve_with(
+                    net,
+                    device.node,
+                    raddr,
+                    &entry.domain,
+                    RecordType::A,
+                    &policy,
+                );
                 let addrs = if attempt == 1 {
                     lookup.addrs()
                 } else {
@@ -111,6 +136,7 @@ pub fn run_experiment_in_shard(
                     attempt,
                     elapsed_us: lookup.elapsed.map(|e| e.as_micros() as u32),
                     addrs,
+                    outcome: lookup.outcome,
                 });
             }
         }
@@ -119,7 +145,8 @@ pub fn run_experiment_in_shard(
     // whoami per resolver (§3.2's "resolution of clients' resolver IPs").
     let mut identities = Vec::with_capacity(3);
     for &(kind, raddr) in &resolvers {
-        let (_, external) = whoami(net, device.node, raddr, probe_zone);
+        let policy = policy_for(backbone, raddr);
+        let (_, external) = whoami_with(net, device.node, raddr, probe_zone, &policy);
         identities.push(ResolverIdentity {
             resolver: kind,
             queried_addr: raddr,

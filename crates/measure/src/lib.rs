@@ -18,11 +18,11 @@ pub use campaign::{
 };
 pub use experiment::{run_experiment, run_experiment_in_shard};
 pub use record::{
-    Dataset, DnsTiming, ExperimentRecord, ExternalReachProbe, ProbeTarget, ReplicaProbe,
+    Dataset, DnsTiming, ExperimentRecord, ExternalReachProbe, Outcome, ProbeTarget, ReplicaProbe,
     ResolverIdentity, ResolverKind, ResolverProbe,
 };
 pub use spec::ExperimentSpec;
 pub use world::{
-    build_world, Backbone, CarrierShard, CdnNet, PublicDns, PublicSite, World, WorldConfig,
-    GOOGLE_VIP, OPENDNS_VIP,
+    build_world, Backbone, CarrierShard, CdnNet, FaultProfile, PublicDns, PublicSite, World,
+    WorldConfig, GOOGLE_VIP, OPENDNS_VIP,
 };

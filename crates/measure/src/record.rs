@@ -5,11 +5,14 @@ use cellsim::radio::RadioTech;
 use dnswire::name::DnsName;
 use netsim::addr::Prefix;
 use netsim::time::SimTime;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
+pub use dnssim::client::Outcome;
+
 /// Which resolver a measurement went through.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResolverKind {
     /// The carrier-configured ("local") resolver.
     Local,
@@ -55,6 +58,8 @@ pub struct DnsTiming {
     pub elapsed_us: Option<u32>,
     /// A-record answers (recorded for attempt 1 only; attempt 2 repeats).
     pub addrs: Vec<Ipv4Addr>,
+    /// How the resolution concluded (the failure taxonomy).
+    pub outcome: Outcome,
 }
 
 /// Result of a whoami probe: the resolver identity pair of §4.
@@ -209,13 +214,41 @@ impl Dataset {
             .filter(move |r| r.carrier as usize == carrier)
     }
 
-    /// Writes the three raw CSV tables into `dir` (created if needed).
+    /// Writes the four raw CSV tables into `dir` (created if needed).
     pub fn write_csvs(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join("lookups.csv"), self.lookups_csv())?;
         std::fs::write(dir.join("replicas.csv"), self.replicas_csv())?;
         std::fs::write(dir.join("identities.csv"), self.identities_csv())?;
+        std::fs::write(dir.join("outcomes.csv"), self.outcomes_csv())?;
         Ok(())
+    }
+
+    /// Aggregate lookup-outcome counts per (carrier, resolver class):
+    /// the failure-taxonomy table. Rows are emitted in deterministic
+    /// (carrier, resolver, outcome) order; zero-count combinations are
+    /// omitted.
+    pub fn outcomes_csv(&self) -> String {
+        let mut counts: BTreeMap<(u8, ResolverKind, Outcome), u64> = BTreeMap::new();
+        for r in &self.records {
+            for l in &r.lookups {
+                *counts
+                    .entry((r.carrier, l.resolver, l.outcome))
+                    .or_insert(0) += 1;
+            }
+        }
+        let mut out = String::from("carrier,resolver,outcome,count\n");
+        for ((carrier, resolver, outcome), n) in &counts {
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                self.carrier_names[*carrier as usize],
+                resolver.label(),
+                outcome.label(),
+                n,
+            );
+        }
+        out
     }
 
     /// CSV of the lookup table (one row per timed lookup).
@@ -322,6 +355,7 @@ mod tests {
                 attempt: 1,
                 elapsed_us: Some(42_000),
                 addrs: vec![Ipv4Addr::new(90, 0, 1, 1)],
+                outcome: Outcome::Ok,
             }],
             identities: vec![ResolverIdentity {
                 resolver: ResolverKind::Local,
@@ -353,6 +387,26 @@ mod tests {
         assert!(replicas.contains("51.000"));
         let ids = ds.identities_csv();
         assert!(ids.contains("100.110.0.1"));
+    }
+
+    #[test]
+    fn outcomes_csv_aggregates_per_carrier_and_resolver() {
+        let mut ds = sample_dataset();
+        ds.records[0].lookups.push(DnsTiming {
+            resolver: ResolverKind::Google,
+            resolver_addr: Ipv4Addr::new(8, 8, 8, 8),
+            domain_idx: 0,
+            attempt: 1,
+            elapsed_us: None,
+            addrs: vec![],
+            outcome: Outcome::ServFail,
+        });
+        let csv = ds.outcomes_csv();
+        assert!(csv.starts_with("carrier,resolver,outcome,count\n"));
+        assert!(csv.contains("AT&T,local,ok,1"));
+        assert!(csv.contains("AT&T,google,servfail,1"));
+        // Zero-count combinations are omitted.
+        assert!(!csv.contains(",timeout,"));
     }
 
     #[test]

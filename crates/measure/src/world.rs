@@ -19,11 +19,13 @@ use cellsim::device::{create_devices, Device};
 use cellsim::profile::{six_carriers, CarrierProfile, Country};
 use dnssim::authority::{AuthoritativeServer, WhoamiZone, DNS_PORT};
 use dnssim::hierarchy::HierarchyBuilder;
-use dnssim::recursive::{RecursiveResolver, ResolverConfig};
+use dnssim::recursive::{RecursiveResolver, ResolverConfig, ServerFaults};
+use dnssim::tcp::{TcpDnsServer, DNS_TCP_PORT};
 use dnssim::zone::Zone;
 use dnswire::name::DnsName;
 use netsim::addr::Prefix;
 use netsim::engine::Network;
+use netsim::fault::{FaultPlan, LinkFault, Spike, Window};
 use netsim::tcplite::TcpHttpServer;
 use netsim::time::SimDuration;
 use netsim::topo::{Asn, Coord, NodeId, NodeKind, Topology};
@@ -59,6 +61,11 @@ pub struct WorldConfig {
     /// per carrier and no LTE radio — the baseline §2 argues has been
     /// overtaken.
     pub three_g_era: bool,
+    /// Deterministic fault injection profile. `None` (the default) makes
+    /// zero RNG draws and leaves every output byte-identical to a
+    /// fault-free build; the other profiles layer chaos on the links and
+    /// carrier resolvers and switch experiments to the hardened client.
+    pub fault_profile: FaultProfile,
 }
 
 impl Default for WorldConfig {
@@ -73,6 +80,7 @@ impl Default for WorldConfig {
             opendns_sites: 16,
             ecs: false,
             three_g_era: false,
+            fault_profile: FaultProfile::None,
         }
     }
 }
@@ -86,6 +94,117 @@ impl WorldConfig {
             fleet_scale: 0.15,
             gateway_scale: 0.35,
             ..WorldConfig::default()
+        }
+    }
+}
+
+/// A named bundle of fault-injection parameters. Profiles are the only
+/// supported way to turn chaos on: they pin every knob so a profile name
+/// plus a seed fully determines the failure schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultProfile {
+    /// No faults. Zero RNG draws on every fault path; outputs are
+    /// byte-identical to a build without the fault layer.
+    #[default]
+    None,
+    /// The cellular baseline: light Bernoulli link loss, periodic gateway
+    /// maintenance outages, bufferbloat latency spikes, and occasional
+    /// carrier-resolver SERVFAILs / forced truncations / blackouts.
+    Cellular,
+    /// Everything in `Cellular`, turned up, plus faults on the public
+    /// resolvers — for exercising failover and the failure taxonomy.
+    Stress,
+}
+
+impl FaultProfile {
+    /// Parses a CLI profile name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(FaultProfile::None),
+            "cellular" => Some(FaultProfile::Cellular),
+            "stress" => Some(FaultProfile::Stress),
+            _ => None,
+        }
+    }
+
+    /// The profile's CLI name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::Cellular => "cellular",
+            FaultProfile::Stress => "stress",
+        }
+    }
+
+    /// Whether any fault is configured (drives the classic/hardened
+    /// client-policy switch).
+    pub fn is_active(&self) -> bool {
+        !matches!(self, FaultProfile::None)
+    }
+
+    /// The link-level fault applied globally to the shard's engine.
+    pub fn link_fault(&self) -> Option<LinkFault> {
+        let outage = |period_h: u64, offset_min: u64, dur_s: u64| Window {
+            period: SimDuration::from_secs(period_h * 3_600),
+            offset: SimDuration::from_secs(offset_min * 60),
+            duration: SimDuration::from_secs(dur_s),
+        };
+        match self {
+            FaultProfile::None => None,
+            FaultProfile::Cellular => Some(LinkFault {
+                loss: 0.012,
+                outage: Some(outage(6, 90, 40)),
+                spike: Some(Spike {
+                    window: outage(3, 20, 120),
+                    factor_x1000: 3_000,
+                    extra: SimDuration::from_millis(150),
+                }),
+            }),
+            FaultProfile::Stress => Some(LinkFault {
+                loss: 0.03,
+                outage: Some(outage(3, 45, 90)),
+                spike: Some(Spike {
+                    window: outage(2, 10, 300),
+                    factor_x1000: 5_000,
+                    extra: SimDuration::from_millis(400),
+                }),
+            }),
+        }
+    }
+
+    /// Fault knobs for the carriers' own resolver pools.
+    pub fn carrier_resolver_faults(&self) -> ServerFaults {
+        let blackout = |period_h: u64, offset_h: u64, dur_s: u64| Window {
+            period: SimDuration::from_secs(period_h * 3_600),
+            offset: SimDuration::from_secs(offset_h * 3_600),
+            duration: SimDuration::from_secs(dur_s),
+        };
+        match self {
+            FaultProfile::None => ServerFaults::default(),
+            FaultProfile::Cellular => ServerFaults {
+                servfail_prob: 0.02,
+                truncate_prob: 0.04,
+                unresponsive: Some(blackout(8, 5, 30)),
+            },
+            FaultProfile::Stress => ServerFaults {
+                servfail_prob: 0.06,
+                truncate_prob: 0.08,
+                unresponsive: Some(blackout(4, 1, 120)),
+            },
+        }
+    }
+
+    /// Fault knobs for the public (Google-like / OpenDNS-like) resolvers.
+    /// Only `Stress` faults them — under `Cellular` they stay clean so
+    /// failover has somewhere to land.
+    pub fn public_resolver_faults(&self) -> ServerFaults {
+        match self {
+            FaultProfile::Stress => ServerFaults {
+                servfail_prob: 0.02,
+                truncate_prob: 0.02,
+                unresponsive: None,
+            },
+            _ => ServerFaults::default(),
         }
     }
 }
@@ -139,6 +258,9 @@ mod lane {
     pub const CAMPAIGN: u64 = 2;
     /// Per-shard engine stream (link latency sampling, loss).
     pub const ENGINE: u64 = 3;
+    /// Per-shard fault-injection stream (chaos Bernoulli draws). A
+    /// dedicated lane so enabling faults never perturbs the engine RNG.
+    pub const FAULT: u64 = 4;
 }
 
 /// Derives an independent seed for `(lane, index)` from the master seed
@@ -196,6 +318,16 @@ impl Backbone {
             derive_seed(self.config.seed, lane::ENGINE, index as u64),
         );
 
+        // Chaos layer: the plan draws from its own seed lane, so shards
+        // with no faults configured are byte-identical to a build without
+        // the fault module.
+        if let Some(fault) = self.config.fault_profile.link_fault() {
+            net.install_fault_plan(
+                FaultPlan::new(derive_seed(self.config.seed, lane::FAULT, index as u64))
+                    .with_global(fault),
+            );
+        }
+
         // DNS hierarchy.
         let mut root_srv = AuthoritativeServer::new();
         root_srv.add_zone(self.root.1.clone());
@@ -246,11 +378,15 @@ impl Backbone {
             }
         }
 
-        // Public DNS recursive resolvers + anycast VIPs.
+        // Public DNS recursive resolvers + anycast VIPs. Each site also
+        // answers DNS-over-TCP (registration is event-free until queried,
+        // so fault-free runs are unaffected).
+        let public_faults = self.config.fault_profile.public_resolver_faults();
         for pd in &self.public_dns {
             for site in &pd.sites {
                 let mut cfg = ResolverConfig::new(self.roots.clone());
                 cfg.egress_addrs = site.egress_addrs.clone();
+                cfg.faults = public_faults;
                 if let Some(period) = self.config.ambient_period {
                     cfg.ambient = Some(dnssim::cache::AmbientModel {
                         period,
@@ -260,6 +396,7 @@ impl Backbone {
                     });
                 }
                 net.register_service(site.node, DNS_PORT, Box::new(RecursiveResolver::new(cfg)));
+                net.register_service(site.node, DNS_TCP_PORT, Box::new(TcpDnsServer::new()));
             }
             net.add_anycast(pd.vip, pd.sites.iter().map(|s| s.node).collect());
         }
@@ -700,6 +837,7 @@ fn make_shard(
         &backbone.roots,
         config.ambient_period,
         config.ecs,
+        config.fault_profile.carrier_resolver_faults(),
     );
 
     // Schedule each device's first IP-reassignment from the shard's own
@@ -858,7 +996,7 @@ mod tests {
     #[test]
     fn seed_lanes_do_not_alias() {
         let mut seen = std::collections::HashSet::new();
-        for lane in 0..4u64 {
+        for lane in 0..5u64 {
             for idx in 0..6u64 {
                 assert!(seen.insert(derive_seed(2014, lane, idx)));
             }

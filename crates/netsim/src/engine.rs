@@ -181,6 +181,8 @@ pub struct NetStats {
     pub timeouts: u64,
     /// Packets lost on lossy links.
     pub link_losses: u64,
+    /// Packets dropped by an installed fault plan (chaos loss + outages).
+    pub fault_drops: u64,
 }
 
 #[derive(Debug)]
@@ -265,6 +267,9 @@ pub struct Network {
     /// Per (link, direction) transmit-queue occupancy: when the link is
     /// next free. Only consulted for capacity-limited links.
     link_busy_until: Vec<[SimTime; 2]>,
+    /// Optional fault-injection plan with its own RNG lane; `None` costs
+    /// nothing and leaves the engine stream untouched.
+    fault: Option<crate::fault::FaultPlan>,
     /// Activity counters.
     pub stats: NetStats,
     /// Optional packet tracer (disabled by default).
@@ -292,9 +297,22 @@ impl Network {
             next_flow: 1,
             next_port: EPHEMERAL_LO,
             link_busy_until,
+            fault: None,
             stats: NetStats::default(),
             tracer: Tracer::new(),
         }
+    }
+
+    /// Installs a fault-injection plan. The plan draws from its own seed
+    /// lane, so runs without one are byte-identical to builds without the
+    /// fault subsystem at all.
+    pub fn install_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any (for stats inspection).
+    pub fn fault_plan(&self) -> Option<&crate::fault::FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Current simulation time.
@@ -885,8 +903,20 @@ impl Network {
                 return;
             }
         }
+        if let Some(plan) = self.fault.as_mut() {
+            if plan.should_drop(hop.link, self.now) {
+                self.stats.fault_drops += 1;
+                self.tracer
+                    .record(self.now, node, TraceEvent::LinkLoss, &packet);
+                return;
+            }
+        }
         let link = self.topo.link(hop.link);
         let latency = link.latency.sample(&mut self.rng);
+        let latency = match self.fault.as_mut() {
+            Some(plan) => latency + plan.extra_latency(hop.link, self.now, latency),
+            None => latency,
+        };
         // Capacity-limited links serialize packets and queue behind earlier
         // transmissions in the same direction.
         let depart = if let Some(bps) = link.bandwidth_bps {

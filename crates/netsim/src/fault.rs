@@ -1,0 +1,294 @@
+//! Deterministic fault injection: a [`FaultPlan`] the engine consults on
+//! every link transmission.
+//!
+//! The plan owns its **own** seeded [`StdRng`] — a dedicated seed lane —
+//! so installing (or removing) a plan never perturbs the engine's RNG
+//! stream: a run with no plan installed is byte-identical to a run on a
+//! build without this module, and a faulted run replays byte-identically
+//! from its seed. Scheduled windows (outages, latency spikes) are pure
+//! functions of simulated time and draw nothing from any RNG.
+//!
+//! Three fault classes, mirroring what cellular paths actually do to
+//! packets (loss bursts on the RAN, gateway maintenance windows,
+//! bufferbloat episodes):
+//!
+//! * **Bernoulli loss** — extra per-packet drop probability on top of the
+//!   topology's own link loss.
+//! * **Outage windows** — periodic intervals during which a link drops
+//!   every packet.
+//! * **Latency spikes** — periodic intervals during which sampled link
+//!   latency is scaled and/or padded.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A periodic time window: active for `duration` once every `period`,
+/// starting at `offset` into each period. Purely time-driven — no RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Repetition period. Must be non-zero for the window to ever match.
+    pub period: SimDuration,
+    /// Start of the active interval within each period.
+    pub offset: SimDuration,
+    /// Length of the active interval.
+    pub duration: SimDuration,
+}
+
+impl Window {
+    /// Whether `now` falls inside an active interval.
+    pub fn contains(&self, now: SimTime) -> bool {
+        let period = self.period.as_micros();
+        if period == 0 || self.duration == SimDuration::ZERO {
+            return false;
+        }
+        let phase = now.as_micros() % period;
+        let start = self.offset.as_micros() % period;
+        let end = start.saturating_add(self.duration.as_micros());
+        // A window whose tail crosses the period boundary wraps around.
+        if end <= period {
+            phase >= start && phase < end
+        } else {
+            phase >= start || phase < end - period
+        }
+    }
+}
+
+/// A periodic latency-spike episode: while the window is active, sampled
+/// link latency is multiplied by `factor_x1000 / 1000` and padded by
+/// `extra`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spike {
+    /// When the episode recurs.
+    pub window: Window,
+    /// Latency multiplier in thousandths (1000 = unchanged, 3000 = 3x).
+    pub factor_x1000: u64,
+    /// Constant padding added on top of the scaled latency.
+    pub extra: SimDuration,
+}
+
+/// The fault behaviour applied to one link (or, via
+/// [`FaultPlan::with_global`], to every link).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFault {
+    /// Extra Bernoulli drop probability per packet (0.0 = none).
+    pub loss: f64,
+    /// Periodic total-outage window, if any.
+    pub outage: Option<Window>,
+    /// Periodic latency-spike episode, if any.
+    pub spike: Option<Spike>,
+}
+
+impl LinkFault {
+    /// Whether this fault can ever do anything.
+    pub fn is_active(&self) -> bool {
+        self.loss > 0.0 || self.outage.is_some() || self.spike.is_some()
+    }
+}
+
+/// Counters describing what the plan injected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped by the Bernoulli loss overlay.
+    pub chaos_losses: u64,
+    /// Packets dropped inside an outage window.
+    pub outage_drops: u64,
+    /// Packets whose latency was inflated by a spike episode.
+    pub spiked: u64,
+}
+
+/// A seed-deterministic fault-injection plan, installed into the engine
+/// with `Network::install_fault_plan`. Per-link overrides take precedence
+/// over the global fault; links without either are untouched.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Fault applied to every link that has no per-link override.
+    global: Option<LinkFault>,
+    /// Per-link overrides, keyed by link index (BTreeMap: deterministic
+    /// iteration order if anyone ever walks it).
+    links: BTreeMap<usize, LinkFault>,
+    /// Dedicated RNG lane for the Bernoulli draws.
+    rng: StdRng,
+    /// What the plan has injected so far.
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from its own seed lane.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            global: None,
+            links: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Applies `fault` to every link without a per-link override.
+    pub fn with_global(mut self, fault: LinkFault) -> Self {
+        self.global = Some(fault);
+        self
+    }
+
+    /// Overrides the fault for one link.
+    pub fn set_link(&mut self, link: usize, fault: LinkFault) {
+        self.links.insert(link, fault);
+    }
+
+    /// The fault governing `link`, if any.
+    fn fault_for(&self, link: usize) -> Option<&LinkFault> {
+        self.links.get(&link).or(self.global.as_ref())
+    }
+
+    /// Whether a packet crossing `link` at `now` should be dropped.
+    /// Outage windows are checked first (no RNG); only a configured
+    /// Bernoulli loss consumes a draw, so inert links cost nothing.
+    pub fn should_drop(&mut self, link: usize, now: SimTime) -> bool {
+        let Some(fault) = self.fault_for(link) else {
+            return false;
+        };
+        if let Some(w) = &fault.outage {
+            if w.contains(now) {
+                self.stats.outage_drops += 1;
+                return true;
+            }
+        }
+        let loss = fault.loss;
+        if loss > 0.0 && self.rng.gen_bool(loss) {
+            self.stats.chaos_losses += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Extra latency a packet crossing `link` at `now` incurs on top of
+    /// the engine-sampled `base` latency. Zero outside spike episodes.
+    pub fn extra_latency(&mut self, link: usize, now: SimTime, base: SimDuration) -> SimDuration {
+        let Some(spike) = self.fault_for(link).and_then(|fault| fault.spike) else {
+            return SimDuration::ZERO;
+        };
+        if !spike.window.contains(now) {
+            return SimDuration::ZERO;
+        }
+        self.stats.spiked += 1;
+        let scaled = base
+            .as_micros()
+            .saturating_mul(spike.factor_x1000.saturating_sub(1_000))
+            / 1_000;
+        SimDuration::from_micros(scaled) + spike.extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(period_s: u64, offset_s: u64, dur_s: u64) -> Window {
+        Window {
+            period: SimDuration::from_secs(period_s),
+            offset: SimDuration::from_secs(offset_s),
+            duration: SimDuration::from_secs(dur_s),
+        }
+    }
+
+    #[test]
+    fn window_matches_periodically() {
+        let w = window(100, 10, 5);
+        assert!(!w.contains(SimTime::from_micros(0)));
+        assert!(w.contains(SimTime::ZERO + SimDuration::from_secs(10)));
+        assert!(w.contains(SimTime::ZERO + SimDuration::from_secs(14)));
+        assert!(!w.contains(SimTime::ZERO + SimDuration::from_secs(15)));
+        // Next period.
+        assert!(w.contains(SimTime::ZERO + SimDuration::from_secs(112)));
+    }
+
+    #[test]
+    fn window_wraps_across_period_boundary() {
+        let w = window(100, 98, 5);
+        assert!(w.contains(SimTime::ZERO + SimDuration::from_secs(99)));
+        assert!(w.contains(SimTime::ZERO + SimDuration::from_secs(102)));
+        assert!(!w.contains(SimTime::ZERO + SimDuration::from_secs(103)));
+    }
+
+    #[test]
+    fn degenerate_window_never_matches() {
+        let w = window(0, 0, 10);
+        assert!(!w.contains(SimTime::ZERO));
+        let w = window(100, 0, 0);
+        assert!(!w.contains(SimTime::ZERO));
+    }
+
+    #[test]
+    fn inert_plan_drops_nothing_and_draws_nothing() {
+        let mut a = FaultPlan::new(7);
+        for link in 0..100 {
+            assert!(!a.should_drop(link, SimTime::ZERO));
+        }
+        assert_eq!(a.stats, FaultStats::default());
+        // The RNG was never touched: a fresh plan with the same seed
+        // produces the same first draw afterwards.
+        let mut b = FaultPlan::new(7);
+        let fault = LinkFault {
+            loss: 0.5,
+            ..LinkFault::default()
+        };
+        a = a.with_global(fault);
+        b = b.with_global(fault);
+        let da: Vec<bool> = (0..32).map(|_| a.should_drop(0, SimTime::ZERO)).collect();
+        let db: Vec<bool> = (0..32).map(|_| b.should_drop(0, SimTime::ZERO)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&d| d) && da.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn outage_drops_without_consuming_rng() {
+        let fault = LinkFault {
+            loss: 0.5,
+            outage: Some(window(100, 0, 100)),
+            ..LinkFault::default()
+        };
+        let mut always_out = FaultPlan::new(3).with_global(fault);
+        for _ in 0..10 {
+            assert!(always_out.should_drop(0, SimTime::ZERO));
+        }
+        assert_eq!(always_out.stats.outage_drops, 10);
+        assert_eq!(always_out.stats.chaos_losses, 0);
+    }
+
+    #[test]
+    fn per_link_override_beats_global() {
+        let mut plan = FaultPlan::new(1).with_global(LinkFault {
+            outage: Some(window(10, 0, 10)),
+            ..LinkFault::default()
+        });
+        plan.set_link(3, LinkFault::default());
+        assert!(plan.should_drop(0, SimTime::ZERO));
+        assert!(!plan.should_drop(3, SimTime::ZERO));
+    }
+
+    #[test]
+    fn spike_scales_and_pads_latency() {
+        let spike = Spike {
+            window: window(100, 0, 50),
+            factor_x1000: 3_000,
+            extra: SimDuration::from_millis(40),
+        };
+        let mut plan = FaultPlan::new(1).with_global(LinkFault {
+            spike: Some(spike),
+            ..LinkFault::default()
+        });
+        let base = SimDuration::from_millis(10);
+        // Inside the window: 10ms * (3000-1000)/1000 + 40ms = 60ms extra.
+        assert_eq!(
+            plan.extra_latency(0, SimTime::ZERO, base),
+            SimDuration::from_millis(60)
+        );
+        // Outside the window: nothing.
+        assert_eq!(
+            plan.extra_latency(0, SimTime::ZERO + SimDuration::from_secs(60), base),
+            SimDuration::ZERO
+        );
+        assert_eq!(plan.stats.spiked, 1);
+    }
+}

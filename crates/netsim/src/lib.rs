@@ -45,6 +45,7 @@
 pub mod addr;
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod middlebox;
 pub mod packet;
@@ -61,9 +62,10 @@ pub use client::{
 pub use engine::{
     Egress, FlowId, FlowOutcome, FlowResult, NetStats, Network, ServiceCtx, UdpService,
 };
+pub use fault::{FaultPlan, FaultStats, LinkFault, Spike, Window};
 pub use latency::LatencyModel;
 pub use packet::{IcmpMsg, Packet, Transport};
-pub use tcplite::{TcpFetch, TcpHttpServer};
+pub use tcplite::{TcpFailure, TcpFetch, TcpFetchOutcome, TcpHttpServer};
 pub use time::{SimDuration, SimTime};
 pub use topo::{Asn, Coord, NodeId, NodeKind, Topology};
 pub use trace::{TraceEntry, TraceEvent, Tracer};

@@ -386,11 +386,27 @@ impl TcpHttpServer {
     }
 }
 
+/// Why a TCP-lite fetch failed. Distinguishing an active refusal from
+/// silent loss matters to callers with a failover choice to make: a reset
+/// connection will not heal by retrying, a lossy path might.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpFailure {
+    /// The server answered our SYN with RST: nothing is listening.
+    Refused,
+    /// The established connection was torn down by an RST mid-stream.
+    Reset,
+    /// Retransmissions were exhausted without a response: the path (or
+    /// peer) silently ate our segments.
+    Lost,
+}
+
 /// Outcome of a TCP-lite fetch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TcpFetchOutcome {
     /// Whether the full page arrived.
     pub success: bool,
+    /// Typed failure reason when `success` is false.
+    pub failure: Option<TcpFailure>,
     /// Handshake completion time.
     pub connected_at: Option<SimTime>,
     /// First response byte arrival (the paper's TTFB endpoint).
@@ -423,6 +439,8 @@ pub struct TcpFetch {
     bytes: usize,
     retries: u32,
     rto_at: Option<SimTime>,
+    /// Response bytes accepted in order (what `bytes` counts).
+    pub data: Vec<u8>,
     /// Filled when the fetch finishes (success or abort).
     pub outcome: Option<TcpFetchOutcome>,
     connected_at: Option<SimTime>,
@@ -444,6 +462,7 @@ impl TcpFetch {
             bytes: 0,
             retries: 0,
             rto_at: None,
+            data: Vec::new(),
             outcome: None,
             connected_at: None,
             first_byte_at: None,
@@ -477,10 +496,12 @@ impl TcpFetch {
         ));
     }
 
-    fn finish(&mut self, success: bool, now: SimTime) {
+    fn finish(&mut self, failure: Option<TcpFailure>, now: SimTime) {
         if self.outcome.is_none() {
+            let success = failure.is_none();
             self.outcome = Some(TcpFetchOutcome {
                 success,
+                failure,
                 connected_at: self.connected_at,
                 first_byte_at: self.first_byte_at,
                 done_at: success.then_some(now),
@@ -517,7 +538,12 @@ impl UdpService for TcpFetch {
             return out;
         };
         if seg.flags & RST != 0 {
-            self.finish(false, ctx.now);
+            let failure = if self.state == FetchState::SynSent {
+                TcpFailure::Refused
+            } else {
+                TcpFailure::Reset
+            };
+            self.finish(Some(failure), ctx.now);
             return out;
         }
         match self.state {
@@ -544,6 +570,7 @@ impl UdpService for TcpFetch {
                         }
                         self.peer_next += seg.data.len() as u32;
                         self.bytes += seg.data.len();
+                        self.data.extend_from_slice(&seg.data);
                     }
                     out.push(reply(
                         self.server,
@@ -561,7 +588,7 @@ impl UdpService for TcpFetch {
                         &Segment::ctl(ACK, 1 + self.request.len() as u32, self.peer_next),
                         SimDuration::ZERO,
                     ));
-                    self.finish(true, ctx.now);
+                    self.finish(None, ctx.now);
                 }
             }
             _ => {}
@@ -584,7 +611,7 @@ impl UdpService for TcpFetch {
                 if let Some(at) = self.rto_at {
                     if at <= ctx.now {
                         if self.retries >= MAX_RETRIES {
-                            self.finish(false, ctx.now);
+                            self.finish(Some(TcpFailure::Lost), ctx.now);
                         } else {
                             self.retries += 1;
                             self.stats.retransmits += 1;

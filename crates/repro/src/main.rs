@@ -3,20 +3,26 @@
 //!
 //! Usage:
 //!   repro [all|table1|table2|fig2|fig3|table3|fig4|fig5|fig6|fig7|table4|
-//!          fig8|fig9|fig10|egress|table5|fig11|fig12|fig13|fig14]
+//!          fig8|fig9|fig10|egress|table5|fig11|fig12|fig13|fig14|failures]
 //!         [--scale quick|standard|full] [--seed N] [--out DIR]
 //!         [--threads N] [--ecs] [--era lte|3g]
+//!         [--fault-profile none|cellular|stress]
 //!
 //! `--threads N` caps the campaign driver at `N` OS threads (default: one
 //! per carrier shard, capped by the machine). Output is byte-identical for
-//! every thread count.
+//! every thread count — with or without a fault profile.
+//!
+//! `--fault-profile cellular` turns on the deterministic chaos layer (link
+//! loss/outages/latency spikes plus resolver-side SERVFAILs, truncation,
+//! and blackouts) and switches experiments to the hardened client; the
+//! `failures` artifact then reports the outcome taxonomy per carrier.
 //!
 //! Text goes to stdout; CSV series and the raw dataset tables go to the
 //! output directory (default `results/`).
 
 #![forbid(unsafe_code)]
 
-use cdns::measure::{CampaignConfig, ExperimentSpec, Parallelism, WorldConfig};
+use cdns::measure::{CampaignConfig, ExperimentSpec, FaultProfile, Parallelism, WorldConfig};
 use cdns::{figures, Study, StudyConfig};
 use std::fs;
 use std::path::PathBuf;
@@ -30,6 +36,7 @@ struct Args {
     ecs: bool,
     three_g: bool,
     threads: Option<usize>,
+    fault_profile: FaultProfile,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,10 +47,19 @@ fn parse_args() -> Result<Args, String> {
     let mut ecs = false;
     let mut three_g = false;
     let mut threads = None;
+    let mut fault_profile = FaultProfile::None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ecs" => ecs = true,
+            "--fault-profile" => {
+                let name = it
+                    .next()
+                    .ok_or("--fault-profile needs none|cellular|stress")?;
+                fault_profile = FaultProfile::parse(&name).ok_or(format!(
+                    "unknown fault profile '{name}' (none|cellular|stress)"
+                ))?;
+            }
             "--era" => {
                 let era = it.next().ok_or("--era needs lte|3g")?;
                 three_g = match era.as_str() {
@@ -74,7 +90,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N]".into());
+                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N] [--fault-profile none|cellular|stress]".into());
             }
             other => targets.push(other.to_string()),
         }
@@ -90,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         ecs,
         three_g,
         threads,
+        fault_profile,
     })
 }
 
@@ -134,6 +151,7 @@ fn main() {
     };
     config.world.ecs = args.ecs;
     config.world.three_g_era = args.three_g;
+    config.world.fault_profile = args.fault_profile;
     if let Some(n) = args.threads {
         config.parallelism = Parallelism::Threads(n);
     }
@@ -142,6 +160,12 @@ fn main() {
     }
     if args.three_g {
         eprintln!("repro: building the pre-LTE (Xu et al.) era");
+    }
+    if args.fault_profile.is_active() {
+        eprintln!(
+            "repro: fault profile '{}' active (hardened client path engaged)",
+            args.fault_profile.label()
+        );
     }
 
     eprintln!(

@@ -1,15 +1,19 @@
 //! Determinism regression tests: the campaign's exported CSV bytes must be
 //! identical for every thread count (sharded execution merges in canonical
-//! order), and must actually depend on the seed.
+//! order), and must actually depend on the seed. The same holds with the
+//! chaos layer enabled: a fault profile adds failures, not nondeterminism.
 
 use behind_the_curtain::measure::{
-    build_world, run_campaign_with, CampaignConfig, Dataset, Parallelism,
+    build_world, run_campaign_with, CampaignConfig, Dataset, FaultProfile, Outcome, Parallelism,
 };
 use behind_the_curtain::measure::{ExperimentSpec, WorldConfig};
 use behind_the_curtain::{Study, StudyConfig};
 
-fn campaign(seed: u64, par: Parallelism) -> Dataset {
-    let mut world = build_world(WorldConfig::quick(seed));
+fn campaign_with_profile(seed: u64, par: Parallelism, profile: FaultProfile) -> Dataset {
+    let mut world = build_world(WorldConfig {
+        fault_profile: profile,
+        ..WorldConfig::quick(seed)
+    });
     let cfg = CampaignConfig {
         days: 2,
         experiments_per_day: 3,
@@ -19,13 +23,18 @@ fn campaign(seed: u64, par: Parallelism) -> Dataset {
     run_campaign_with(&mut world, &cfg, par)
 }
 
-/// All three exported tables, concatenated — the full byte-level surface a
+fn campaign(seed: u64, par: Parallelism) -> Dataset {
+    campaign_with_profile(seed, par, FaultProfile::None)
+}
+
+/// All four exported tables, concatenated — the full byte-level surface a
 /// downstream consumer sees.
 fn csv_bytes(ds: &Dataset) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(ds.lookups_csv().as_bytes());
     out.extend_from_slice(ds.replicas_csv().as_bytes());
     out.extend_from_slice(ds.identities_csv().as_bytes());
+    out.extend_from_slice(ds.outcomes_csv().as_bytes());
     out
 }
 
@@ -74,4 +83,66 @@ fn different_seeds_export_different_csvs() {
         csv_bytes(&b),
         "seed does not influence exported bytes"
     );
+}
+
+#[test]
+fn cellular_fault_profile_is_thread_count_invariant() {
+    // Chaos enabled: the fault plan draws from its own per-shard seed lane,
+    // so 1, 4, and 6 threads must still export byte-identical CSVs.
+    let one = campaign_with_profile(20141105, Parallelism::Threads(1), FaultProfile::Cellular);
+    let four = campaign_with_profile(20141105, Parallelism::Threads(4), FaultProfile::Cellular);
+    let six = campaign_with_profile(20141105, Parallelism::Threads(6), FaultProfile::Cellular);
+    assert_eq!(
+        csv_bytes(&one),
+        csv_bytes(&four),
+        "fault profile broke 4-thread determinism"
+    );
+    assert_eq!(
+        csv_bytes(&one),
+        csv_bytes(&six),
+        "fault profile broke 6-thread determinism"
+    );
+    assert_eq!(one, six);
+}
+
+#[test]
+fn cellular_fault_profile_produces_a_failure_taxonomy() {
+    let ds = campaign_with_profile(20141105, Parallelism::Threads(6), FaultProfile::Cellular);
+    // Count lookups per outcome across the whole campaign.
+    let mut counts = std::collections::BTreeMap::new();
+    for r in &ds.records {
+        for l in &r.lookups {
+            *counts.entry(l.outcome).or_insert(0u64) += 1;
+        }
+    }
+    let distinct_failures = counts.keys().filter(|o| **o != Outcome::Ok).count();
+    assert!(
+        distinct_failures >= 3,
+        "expected >=3 distinct non-ok outcomes under cellular chaos, got {counts:?}"
+    );
+    // The aggregate CSV carries the same taxonomy.
+    let csv = ds.outcomes_csv();
+    for (outcome, n) in &counts {
+        assert!(*n > 0);
+        assert!(
+            csv.contains(outcome.label()),
+            "outcomes.csv missing {}",
+            outcome.label()
+        );
+    }
+}
+
+#[test]
+fn fault_free_outputs_do_not_depend_on_the_chaos_layer_existing() {
+    // A world built with FaultProfile::None must export exactly the same
+    // bytes as one built before the fault layer existed; its plan makes
+    // zero RNG draws. (Guarded here by the explicit-profile constructor
+    // matching the default-config path.)
+    let default_cfg = campaign(20141105, Parallelism::Threads(2));
+    let explicit_none =
+        campaign_with_profile(20141105, Parallelism::Threads(2), FaultProfile::None);
+    assert_eq!(csv_bytes(&default_cfg), csv_bytes(&explicit_none));
+    // And the chaos layer changes them when switched on.
+    let cellular = campaign_with_profile(20141105, Parallelism::Threads(2), FaultProfile::Cellular);
+    assert_ne!(csv_bytes(&default_cfg), csv_bytes(&cellular));
 }

@@ -196,7 +196,7 @@ fn resolver_churn_happens_even_without_movement() {
 fn all_artifacts_render_and_export() {
     let ds = dataset();
     let artifacts = figures::all_artifacts(ds);
-    assert_eq!(artifacts.len(), 20);
+    assert_eq!(artifacts.len(), 21);
     for a in &artifacts {
         assert!(!a.text.is_empty(), "{}", a.id);
         if let Some(csv) = &a.csv {
