@@ -147,6 +147,45 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_registry");
+    // The sim-plane instruments sit on the campaign's hot path (every
+    // event and lookup increments something), so their per-call cost is
+    // the overhead budget of `run_campaign_observed` vs `run_campaign_with`.
+    group.bench_function("counter_inc_labeled", |b| {
+        let mut reg = obs::Registry::new();
+        b.iter(|| {
+            reg.inc("net.events_by_kind", &[("kind", "arrive")]);
+            black_box(reg.counter_total("net.events_by_kind"))
+        })
+    });
+    group.bench_function("histogram_observe", |b| {
+        let mut reg = obs::Registry::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            reg.observe_us("dns.lookup_us", &[("carrier", "AT&T")], v >> 40);
+            black_box(&reg)
+        })
+    });
+    group.bench_function("merge_and_export", |b| {
+        let mut shard = obs::Registry::new();
+        for i in 0..64u64 {
+            let carrier = ["AT&T", "Sprint", "Verizon", "T-Mobile"][(i % 4) as usize];
+            shard.inc_by("campaign.lookups", &[("carrier", carrier)], i);
+            shard.observe_us("dns.lookup_us", &[("carrier", carrier)], i * 977);
+        }
+        b.iter(|| {
+            let mut merged = obs::Registry::new();
+            for _ in 0..6 {
+                merged.merge_from(&shard);
+            }
+            black_box(merged.to_json())
+        })
+    });
+    group.finish();
+}
+
 fn bench_cosine(c: &mut Criterion) {
     let mut a = ReplicaMap::default();
     let mut bm = ReplicaMap::default();
@@ -167,6 +206,7 @@ criterion_group!(
     bench_cache,
     bench_routing,
     bench_engine,
+    bench_obs_registry,
     bench_cosine
 );
 criterion_main!(benches);

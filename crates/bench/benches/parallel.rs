@@ -39,6 +39,22 @@ fn bench_campaign_parallel(c: &mut Criterion) {
             )
         });
     }
+    // The observed variant harvests the sim-plane metrics registry on top
+    // of the same campaign; the gap between this and `threads_6` above is
+    // the whole-stack cost of the observability subsystem.
+    group.bench_function("threads_6_observed", |b| {
+        b.iter_with_setup(
+            || build_world(WorldConfig::quick(20141105)),
+            |mut world| {
+                black_box(cdns::measure::run_campaign_observed(
+                    &mut world,
+                    &cfg,
+                    Parallelism::Threads(6),
+                    None,
+                ))
+            },
+        )
+    });
     group.finish();
 }
 

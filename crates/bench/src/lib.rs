@@ -8,11 +8,20 @@ use cdns::{Study, StudyConfig};
 use std::sync::OnceLock;
 
 /// A quick-scale campaign dataset, built once per bench process.
+///
+/// The one-off build cost is reported to stderr through the host-plane
+/// profiler (`bench` is a host-plane crate, see detlint rule D7) so slow
+/// bench startups are attributable without polluting Criterion's output.
 pub fn bench_dataset() -> &'static Dataset {
     static DS: OnceLock<Dataset> = OnceLock::new();
     DS.get_or_init(|| {
+        let stage = obs::host::Stage::begin("bench dataset build");
         let mut study = Study::new(StudyConfig::quick(0xBEEF));
-        study.run()
+        let ds = study.run();
+        let mut prof = obs::host::Profiler::new(true);
+        prof.record_with_rates(stage.end(), &[(ds.records.len() as u64, "experiments")]);
+        eprint!("{}", prof.report());
+        ds
     })
 }
 

@@ -778,7 +778,7 @@ mod tests {
     fn all_artifacts_render_nonempty() {
         let ds = quick_dataset();
         let artifacts = all_artifacts(&ds);
-        assert_eq!(artifacts.len(), 20);
+        assert_eq!(artifacts.len(), 21);
         for a in &artifacts {
             assert!(!a.text.trim().is_empty(), "{} is empty", a.id);
         }

@@ -42,3 +42,4 @@ pub use dnssim;
 pub use dnswire;
 pub use measure;
 pub use netsim;
+pub use obs;

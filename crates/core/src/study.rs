@@ -1,7 +1,9 @@
 //! The top-level study object: build a world, run the campaign, keep the
 //! dataset — the one-stop API a downstream user drives.
 
-use measure::campaign::{run_campaign_with, CampaignConfig, Parallelism};
+use measure::campaign::{
+    run_campaign_observed, run_campaign_with, CampaignConfig, CampaignRun, Parallelism, ProgressFn,
+};
 use measure::record::Dataset;
 use measure::world::{build_world, World, WorldConfig};
 
@@ -64,6 +66,18 @@ impl Study {
     /// Runs the configured campaign and returns the dataset.
     pub fn run(&mut self) -> Dataset {
         run_campaign_with(&mut self.world, &self.campaign.clone(), self.parallelism)
+    }
+
+    /// Runs the configured campaign, returning the dataset together with
+    /// the merged sim-plane metric registry; `progress` (when given)
+    /// receives one tick per shard-day from the worker threads.
+    pub fn run_observed(&mut self, progress: Option<&ProgressFn>) -> CampaignRun {
+        run_campaign_observed(
+            &mut self.world,
+            &self.campaign.clone(),
+            self.parallelism,
+            progress,
+        )
     }
 }
 

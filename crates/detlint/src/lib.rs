@@ -25,6 +25,11 @@
 //!   `resolve_with`, `whoami`, `run_experiment`) in `measure`/`analysis`:
 //!   every lookup carries a typed failure `Outcome` that must reach the
 //!   records, not the floor.
+//! - **D7** — the observability planes stay separated: host-plane
+//!   (wall-clock) profiling via `obs::host` is an error outside the driver
+//!   binaries (`repro`, `bench`), and sim-plane registry mutators must be
+//!   called with a `&'static str` literal metric name (a dynamic name
+//!   would make the exported key space input-dependent).
 //!
 //! Suppression is explicit and audited: an inline
 //! `// detlint: allow(D1) -- <reason>` marker on the offending line (or
@@ -40,8 +45,17 @@ use std::path::{Path, PathBuf};
 /// Crates whose behaviour feeds the simulation or its analysis: D1–D3
 /// apply here. Names are the directory names under `crates/`.
 pub const SIM_CRATES: &[&str] = &[
-    "netsim", "dnswire", "dnssim", "cellsim", "cdnsim", "measure", "analysis", "core",
+    "netsim", "dnswire", "dnssim", "cellsim", "cdnsim", "measure", "analysis", "core", "obs",
 ];
+
+/// Crates allowed to touch the host plane (`obs::host`): the driver
+/// binaries, plus `obs` itself (the implementation). D7 fences everyone
+/// else onto the deterministic sim plane.
+pub const HOST_PLANE_CRATES: &[&str] = &["repro", "bench", "obs"];
+
+/// Sim-plane registry mutators whose first argument is the metric name and
+/// must be a `&'static str` literal at the call site (D7).
+const OBS_MUTATORS: &[&str] = &[".inc(", ".inc_by(", ".gauge_set(", ".observe_us("];
 
 /// Hot-path crates where D4 (panic-freedom of library code) applies.
 pub const HOT_CRATES: &[&str] = &["netsim", "dnssim", "measure"];
@@ -88,6 +102,9 @@ pub enum Rule {
     D5,
     /// `let _ =` discarding an experiment result's typed `Outcome`.
     D6,
+    /// Observability-plane breach: host-plane APIs outside the drivers, or
+    /// a dynamic sim-plane metric name.
+    D7,
     /// Malformed allow-marker (a marker is itself subject to lint).
     Marker,
 }
@@ -102,6 +119,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
             Rule::Marker => "marker",
         }
     }
@@ -115,6 +133,7 @@ impl Rule {
             "D4" | "d4" => Some(Rule::D4),
             "D5" | "d5" => Some(Rule::D5),
             "D6" | "d6" => Some(Rule::D6),
+            "D7" | "d7" => Some(Rule::D7),
             _ => None,
         }
     }
@@ -637,6 +656,49 @@ pub fn scan_file(file: &str, source: &str, ctx: &FileCtx) -> Vec<Finding> {
                     );
                 }
             }
+            // D7b: sim-plane registry mutators must be handed a literal
+            // metric name (string contents are blanked by the scanner, but
+            // the opening quote survives, so a literal first argument always
+            // begins with `"`). Calls that wrap the argument list pick up
+            // the first token from the next non-empty code line.
+            for m in OBS_MUTATORS {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(m) {
+                    let at = from + pos;
+                    let mut first = code[at + m.len()..].trim_start();
+                    if first.is_empty() {
+                        first = (i + 1..scan.code.len())
+                            .map(|j| scan.code[j].trim_start())
+                            .find(|c| !c.is_empty())
+                            .unwrap_or("");
+                    }
+                    if !first.is_empty() && !first.starts_with('"') {
+                        push(
+                            Rule::D7,
+                            format!(
+                                "dynamic metric name in `{}…)`; sim-plane instruments take a \
+                                 `&'static str` literal name so the exported key space is fixed",
+                                m.trim_end_matches('(')
+                            ),
+                            &mut findings,
+                        );
+                    }
+                    from = at + m.len();
+                }
+            }
+        }
+
+        // D7a: host-plane (wall-clock) observability outside the driver
+        // binaries. Applies to every crate that is not a driver: the host
+        // plane must never leak timings into simulation or analysis code.
+        if !HOST_PLANE_CRATES.contains(&ctx.crate_name.as_str()) && code.contains("obs::host") {
+            push(
+                Rule::D7,
+                "host-plane observability `obs::host` outside repro/bench; simulation and \
+                 analysis code may only use the deterministic sim plane"
+                    .to_string(),
+                &mut findings,
+            );
         }
 
         if ctx.hot() {

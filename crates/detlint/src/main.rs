@@ -44,7 +44,9 @@ fn main() -> ExitCode {
                      --format <text|json>  output format (default: text)\n  \
                      --root <path>         workspace root (default: discovered from manifest dir)\n\n\
                      Rules: D1 hash-iteration-order escape, D2 wall clock, D3 ambient RNG,\n\
-                     D4 panic in hot-path library code, D5 missing #![forbid(unsafe_code)].\n\
+                     D4 panic in hot-path library code, D5 missing #![forbid(unsafe_code)],\n\
+                     D6 discarded experiment Outcome, D7 observability-plane breach\n\
+                     (host-plane profiling outside repro/bench, or a dynamic metric name).\n\
                      Suppress with an inline comment marker: detlint: allow(D#) -- <reason>."
                 );
                 return ExitCode::SUCCESS;

@@ -10,6 +10,7 @@ const D3: &str = include_str!("fixtures/d3_fires.rs");
 const D4: &str = include_str!("fixtures/d4_fires.rs");
 const D5: &str = include_str!("fixtures/d5_fires.rs");
 const D6: &str = include_str!("fixtures/d6_fires.rs");
+const D7: &str = include_str!("fixtures/d7_fires.rs");
 const ALLOWED: &str = include_str!("fixtures/allowed.rs");
 const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
 
@@ -97,6 +98,40 @@ pub fn f(net: &mut Net) {
 }
 ";
     assert!(scan_file("x.rs", src, &FileCtx::new("measure", false)).is_empty());
+}
+
+#[test]
+fn d7_fires_on_host_plane_leak_and_dynamic_name() {
+    let f = scan_file("d7_fires.rs", D7, &sim_hot());
+    assert_eq!(rules(&f), vec![Rule::D7, Rule::D7], "{f:?}");
+    assert_eq!(f[0].line, 5);
+    assert!(f[0].message.contains("obs::host"), "{}", f[0].message);
+    assert_eq!(f[1].line, 15);
+    assert!(f[1].message.contains("static"), "{}", f[1].message);
+}
+
+#[test]
+fn d7_respects_the_plane_boundaries() {
+    // Driver binaries may use the host plane; they are not simulation
+    // crates, so the literal-name rule does not bind there either.
+    assert!(scan_file("d7.rs", D7, &FileCtx::new("repro", false)).is_empty());
+    assert!(scan_file("d7.rs", D7, &FileCtx::new("bench", false)).is_empty());
+    // `obs` itself implements the host plane (D7a stays quiet) but its sim
+    // plane is held to the static-name rule (D7b fires).
+    let f = scan_file("d7.rs", D7, &FileCtx::new("obs", false));
+    assert_eq!(rules(&f), vec![Rule::D7], "{f:?}");
+    assert_eq!(f[0].line, 15);
+}
+
+#[test]
+fn d7_marker_suppresses_with_reason() {
+    let src = "\
+pub fn f(reg: &mut Registry, name: &'static str) {
+    // detlint: allow(D7) -- caller passes a static name through
+    reg.inc(name, &[]);
+}
+";
+    assert!(scan_file("x.rs", src, &sim_hot()).is_empty());
 }
 
 #[test]

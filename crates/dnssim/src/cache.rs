@@ -81,6 +81,18 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Folds the cache counters into an [`obs::Registry`] under the
+    /// `dns.cache.*` family, labelled with `labels` (typically the
+    /// resolver class the cache belongs to).
+    pub fn export(&self, reg: &mut obs::Registry, labels: &[(&'static str, &str)]) {
+        reg.inc_by("dns.cache.hits", labels, self.hits);
+        reg.inc_by("dns.cache.ambient_hits", labels, self.ambient_hits);
+        reg.inc_by("dns.cache.misses", labels, self.misses);
+        reg.inc_by("dns.cache.evictions", labels, self.evictions);
+    }
+}
+
 /// The resolver cache.
 #[derive(Debug)]
 pub struct DnsCache {

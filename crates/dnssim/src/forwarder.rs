@@ -56,6 +56,17 @@ pub struct ForwarderStats {
     pub cache_answers: u64,
 }
 
+impl ForwarderStats {
+    /// Folds the forwarder counters into an [`obs::Registry`] under the
+    /// `dns.forwarder.*` family, labelled with `labels`.
+    pub fn export(&self, reg: &mut obs::Registry, labels: &[(&'static str, &str)]) {
+        reg.inc_by("dns.forwarder.relayed", labels, self.relayed);
+        reg.inc_by("dns.forwarder.returned", labels, self.returned);
+        reg.inc_by("dns.forwarder.repicks", labels, self.repicks);
+        reg.inc_by("dns.forwarder.cache_answers", labels, self.cache_answers);
+    }
+}
+
 #[derive(Debug)]
 struct PendingRelay {
     client: Ipv4Addr,
@@ -205,6 +216,11 @@ impl Forwarder {
         }
     }
 
+    /// The forwarder's answer cache, when one was configured.
+    pub fn cache(&self) -> Option<&DnsCache> {
+        self.cache.as_ref()
+    }
+
     /// The configured upstream set.
     pub fn upstreams(&self) -> &[Ipv4Addr] {
         &self.upstreams
@@ -267,6 +283,10 @@ impl Forwarder {
 }
 
 impl UdpService for Forwarder {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn handle(
         &mut self,
         ctx: &mut ServiceCtx<'_>,

@@ -101,6 +101,29 @@ pub struct ResolverStats {
     pub fault_truncations: u64,
 }
 
+impl ResolverStats {
+    /// Folds the resolver counters into an [`obs::Registry`] under the
+    /// `dns.resolver.*` family, labelled with `labels` (typically the
+    /// resolver class: `carrier`, `google`, `opendns`).
+    pub fn export(&self, reg: &mut obs::Registry, labels: &[(&'static str, &str)]) {
+        reg.inc_by("dns.resolver.client_queries", labels, self.client_queries);
+        reg.inc_by(
+            "dns.resolver.upstream_queries",
+            labels,
+            self.upstream_queries,
+        );
+        reg.inc_by("dns.resolver.cache_answers", labels, self.cache_answers);
+        reg.inc_by("dns.resolver.servfails", labels, self.servfails);
+        reg.inc_by("dns.resolver.fault_dropped", labels, self.fault_dropped);
+        reg.inc_by("dns.resolver.fault_servfails", labels, self.fault_servfails);
+        reg.inc_by(
+            "dns.resolver.fault_truncations",
+            labels,
+            self.fault_truncations,
+        );
+    }
+}
+
 #[derive(Debug)]
 struct InFlight {
     client: Ipv4Addr,
@@ -675,6 +698,10 @@ impl RecursiveResolver {
 }
 
 impl UdpService for RecursiveResolver {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn handle(
         &mut self,
         ctx: &mut ServiceCtx<'_>,

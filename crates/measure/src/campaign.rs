@@ -8,10 +8,12 @@
 //! bit-for-bit identical for every thread count.
 
 use crate::experiment::run_experiment_in_shard;
+use crate::metrics::harvest_shard;
 use crate::record::{Dataset, ExperimentRecord, ExternalReachProbe};
 use crate::spec::ExperimentSpec;
 use crate::world::{Backbone, CarrierShard, World};
 use netsim::time::{SimDuration, SimTime};
+use rand::Rng as _;
 
 /// Campaign shape. The paper ran five months at roughly hourly cadence
 /// (280 k experiments); the default here is a six-week campaign at 4-hour
@@ -86,10 +88,42 @@ fn slot_offset(slot: u32, experiments_per_day: u32) -> SimDuration {
     SimDuration::from_micros(day_us * slot as u64 / n)
 }
 
+/// One per-shard progress tick, emitted after each simulated day.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressEvent<'a> {
+    /// Shard (= carrier) index.
+    pub shard: usize,
+    /// Carrier name.
+    pub carrier: &'a str,
+    /// Day just completed (0-based).
+    pub day: u32,
+    /// Total days in the campaign.
+    pub days: u32,
+    /// Records this shard has produced so far.
+    pub records: usize,
+    /// Engine events this shard has dispatched so far.
+    pub events: u64,
+}
+
+/// A progress callback, invoked from shard worker threads (hence `Sync`).
+/// It observes wall-clock-free facts only; what the caller does with them
+/// (a stderr line, a profiler note) is host-plane business.
+pub type ProgressFn = dyn Fn(ProgressEvent<'_>) + Sync;
+
 /// One shard's campaign output, in (day, slot, device) order.
 struct ShardRun {
     records: Vec<ExperimentRecord>,
     external_reach: Vec<ExternalReachProbe>,
+    metrics: obs::Registry,
+}
+
+/// The campaign's full observed output: the dataset plus the merged
+/// sim-plane metric registry.
+pub struct CampaignRun {
+    /// The merged dataset, in canonical record order.
+    pub dataset: Dataset,
+    /// Per-shard registries folded in canonical carrier order.
+    pub metrics: obs::Registry,
 }
 
 /// Runs the full campaign on one shard. This is the whole per-carrier
@@ -99,12 +133,20 @@ fn run_shard_campaign(
     backbone: &Backbone,
     shard: &mut CarrierShard,
     cfg: &CampaignConfig,
+    progress: Option<&ProgressFn>,
 ) -> ShardRun {
     let mut records = Vec::with_capacity(
         cfg.days as usize * cfg.experiments_per_day as usize * shard.devices.len(),
     );
     let mut external_reach = Vec::new();
     let mut seq = vec![0u32; shard.devices.len()];
+    // Gateway sites the fleet has ever attached a bearer to. Small fleets
+    // on site-rich carriers (Sprint: 9 devices, 49 sites) would otherwise
+    // never visit the tail, so §5.2's egress census under-counts.
+    let mut visited = vec![false; shard.carrier.sites.len()];
+    for d in &shard.devices {
+        visited[d.site] = true;
+    }
     for day in 0..cfg.days {
         let day_start = SimTime::ZERO + SimDuration::from_days(day as u64);
         // Daily churn pass (commuting, bearer re-homing); route rebuilds are
@@ -119,6 +161,26 @@ fn run_shard_campaign(
                 ..
             } = shard;
             dirty |= devices[i].daily_churn(net, carrier, rng);
+        }
+        for d in &shard.devices {
+            visited[d.site] = true;
+        }
+        // Egress-coverage nudge: while any gateway site has never hosted a
+        // bearer, re-home one (rotation-lane-chosen) device to the
+        // lowest-index unvisited site for the day. Carriers whose fleet
+        // already covers every site never reach this draw, so their
+        // schedules are untouched.
+        if let Some(target) = visited.iter().position(|v| !v) {
+            let i = shard.rotation_rng.gen_range(0..shard.devices.len());
+            let CarrierShard {
+                net,
+                carrier,
+                devices,
+                ..
+            } = shard;
+            devices[i].reattach(net, carrier, target);
+            visited[target] = true;
+            dirty = true;
         }
         if dirty {
             shard.net.rebuild_routes();
@@ -140,10 +202,23 @@ fn run_shard_campaign(
         if cfg.external_probe_day == Some(day) {
             external_reach = probe_shard_reachability(backbone, shard, &cfg.spec);
         }
+        if let Some(tick) = progress {
+            tick(ProgressEvent {
+                shard: shard.index,
+                carrier: shard.carrier.profile.name,
+                day,
+                days: cfg.days,
+                records: records.len(),
+                events: shard.net.stats.events,
+            });
+        }
     }
+    let mut metrics = obs::Registry::new();
+    harvest_shard(backbone, shard, &records, &mut metrics);
     ShardRun {
         records,
         external_reach,
+        metrics,
     }
 }
 
@@ -216,13 +291,26 @@ pub fn run_campaign_with(
     cfg: &CampaignConfig,
     parallelism: Parallelism,
 ) -> Dataset {
+    run_campaign_observed(world, cfg, parallelism, None).dataset
+}
+
+/// Runs the campaign and returns both the dataset and the merged sim-plane
+/// metric registry, optionally reporting per-shard progress. Per-shard
+/// registries are folded in canonical carrier order, so the registry — and
+/// any bytes exported from it — is identical for every thread count.
+pub fn run_campaign_observed(
+    world: &mut World,
+    cfg: &CampaignConfig,
+    parallelism: Parallelism,
+    progress: Option<&ProgressFn>,
+) -> CampaignRun {
     let backbone = std::sync::Arc::clone(&world.backbone);
     let threads = parallelism.resolve(world.shards.len());
     let runs: Vec<ShardRun> = if threads <= 1 {
         world
             .shards
             .iter_mut()
-            .map(|s| run_shard_campaign(&backbone, s, cfg))
+            .map(|s| run_shard_campaign(&backbone, s, cfg, progress))
             .collect()
     } else {
         // Deal shards into `threads` contiguous chunks; each worker drains
@@ -237,7 +325,7 @@ pub fn run_campaign_with(
                 let backbone = &backbone;
                 scope.spawn(move || {
                     for (shard, out) in shard_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                        *out = Some(run_shard_campaign(backbone, shard, cfg));
+                        *out = Some(run_shard_campaign(backbone, shard, cfg, progress));
                     }
                 });
             }
@@ -250,7 +338,14 @@ pub fn run_campaign_with(
             .map(|s| s.expect("worker covered every shard"))
             .collect()
     };
-    merge_shard_runs(world, cfg, runs)
+    let mut metrics = obs::Registry::new();
+    for run in &runs {
+        metrics.merge_from(&run.metrics);
+    }
+    CampaignRun {
+        dataset: merge_shard_runs(world, cfg, runs),
+        metrics,
+    }
 }
 
 /// Table 4 for one shard: from the university vantage point, ping and

@@ -9,12 +9,14 @@
 
 pub mod campaign;
 pub mod experiment;
+pub mod metrics;
 pub mod record;
 pub mod spec;
 pub mod world;
 
 pub use campaign::{
-    probe_external_reachability, run_campaign, run_campaign_with, CampaignConfig, Parallelism,
+    probe_external_reachability, run_campaign, run_campaign_observed, run_campaign_with,
+    CampaignConfig, CampaignRun, Parallelism, ProgressEvent, ProgressFn,
 };
 pub use experiment::{run_experiment, run_experiment_in_shard};
 pub use record::{

@@ -261,6 +261,9 @@ mod lane {
     /// Per-shard fault-injection stream (chaos Bernoulli draws). A
     /// dedicated lane so enabling faults never perturbs the engine RNG.
     pub const FAULT: u64 = 4;
+    /// Per-shard device-rotation stream (§5.2 egress-coverage nudge). A
+    /// dedicated lane so the nudge never perturbs churn or engine draws.
+    pub const ROTATION: u64 = 5;
 }
 
 /// Derives an independent seed for `(lane, index)` from the master seed
@@ -421,6 +424,9 @@ pub struct CarrierShard {
     /// Campaign-level RNG (stream derived from the master seed and the
     /// carrier index; distinct from the engine's).
     pub rng: StdRng,
+    /// Rotation RNG for the daily egress-coverage nudge (its own seed lane,
+    /// so carriers with full coverage never consume a draw).
+    pub rotation_rng: StdRng,
 }
 
 /// The assembled world: the shared backbone plus one shard per carrier.
@@ -856,6 +862,7 @@ fn make_shard(
         carrier,
         devices,
         rng,
+        rotation_rng: StdRng::seed_from_u64(derive_seed(config.seed, lane::ROTATION, index as u64)),
     }
 }
 

@@ -183,6 +183,54 @@ pub struct NetStats {
     pub link_losses: u64,
     /// Packets dropped by an installed fault plan (chaos loss + outages).
     pub fault_drops: u64,
+    /// `Arrive` events dispatched.
+    pub arrives: u64,
+    /// `Send` events dispatched.
+    pub sends: u64,
+    /// `ServiceTick` events dispatched.
+    pub service_ticks: u64,
+    /// `FlowTimeout` events dispatched (whether or not the flow was still
+    /// pending).
+    pub flow_timeouts: u64,
+    /// Deepest the event queue ever got (scheduled-but-undispatched events).
+    pub queue_high_water: u64,
+}
+
+impl NetStats {
+    /// Folds every counter into an [`obs::Registry`], labelled with
+    /// `labels` (typically the owning shard's carrier). Counter names are
+    /// the `net.*` family; the queue high-water lands in a gauge.
+    pub fn export(&self, reg: &mut obs::Registry, labels: &[(&'static str, &str)]) {
+        reg.inc_by("net.events", labels, self.events);
+        reg.inc_by("net.forwards", labels, self.forwards);
+        reg.inc_by("net.delivered", labels, self.delivered);
+        reg.inc_by("net.timeouts", labels, self.timeouts);
+        let by_kind: [(&str, u64); 4] = [
+            ("arrive", self.arrives),
+            ("send", self.sends),
+            ("service_tick", self.service_ticks),
+            ("flow_timeout", self.flow_timeouts),
+        ];
+        for (kind, n) in by_kind {
+            let mut kl: Vec<(&'static str, &str)> = labels.to_vec();
+            kl.push(("kind", kind));
+            reg.inc_by("net.events_by_kind", &kl, n);
+        }
+        let by_cause: [(&str, u64); 6] = [
+            ("firewall", self.firewall_drops),
+            ("nat", self.nat_drops),
+            ("ttl_expired", self.ttl_expired),
+            ("unreachable", self.unreachable),
+            ("link_loss", self.link_losses),
+            ("fault", self.fault_drops),
+        ];
+        for (cause, n) in by_cause {
+            let mut cl: Vec<(&'static str, &str)> = labels.to_vec();
+            cl.push(("cause", cause));
+            reg.inc_by("net.drops_by_cause", &cl, n);
+        }
+        reg.gauge_set("net.queue_depth", labels, self.queue_high_water);
+    }
 }
 
 #[derive(Debug)]
@@ -399,6 +447,7 @@ impl Network {
             seq,
             kind,
         }));
+        self.stats.queue_high_water = self.stats.queue_high_water.max(self.queue.len() as u64);
     }
 
     fn alloc_flow(&mut self) -> FlowId {
@@ -559,10 +608,20 @@ impl Network {
         self.now = ev.time;
         self.stats.events += 1;
         match ev.kind {
-            EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
-            EventKind::Send { node, packet } => self.on_send(node, packet),
-            EventKind::ServiceTick { node, port } => self.on_service_tick(node, port),
+            EventKind::Arrive { node, packet } => {
+                self.stats.arrives += 1;
+                self.on_arrive(node, packet);
+            }
+            EventKind::Send { node, packet } => {
+                self.stats.sends += 1;
+                self.on_send(node, packet);
+            }
+            EventKind::ServiceTick { node, port } => {
+                self.stats.service_ticks += 1;
+                self.on_service_tick(node, port);
+            }
             EventKind::FlowTimeout { flow } => {
+                self.stats.flow_timeouts += 1;
                 if self.pending.contains_key(&flow) {
                     self.stats.timeouts += 1;
                     self.complete(flow, FlowResult::TimedOut);

@@ -98,6 +98,23 @@ pub struct FaultStats {
     pub spiked: u64,
 }
 
+impl FaultStats {
+    /// Folds the fault-injection counters into an [`obs::Registry`] under
+    /// the `fault.*` family, labelled with `labels`.
+    pub fn export(&self, reg: &mut obs::Registry, labels: &[(&'static str, &str)]) {
+        let by_kind: [(&str, u64); 3] = [
+            ("chaos_loss", self.chaos_losses),
+            ("outage_drop", self.outage_drops),
+            ("latency_spike", self.spiked),
+        ];
+        for (kind, n) in by_kind {
+            let mut kl: Vec<(&'static str, &str)> = labels.to_vec();
+            kl.push(("kind", kind));
+            reg.inc_by("fault.injected", &kl, n);
+        }
+    }
+}
+
 /// A seed-deterministic fault-injection plan, installed into the engine
 /// with `Network::install_fault_plan`. Per-link overrides take precedence
 /// over the global fault; links without either are untouched.

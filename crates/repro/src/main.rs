@@ -7,6 +7,7 @@
 //!         [--scale quick|standard|full] [--seed N] [--out DIR]
 //!         [--threads N] [--ecs] [--era lte|3g]
 //!         [--fault-profile none|cellular|stress]
+//!         [--metrics] [--no-metrics] [--progress] [--quiet]
 //!
 //! `--threads N` caps the campaign driver at `N` OS threads (default: one
 //! per carrier shard, capped by the machine). Output is byte-identical for
@@ -17,16 +18,26 @@
 //! and blackouts) and switches experiments to the hardened client; the
 //! `failures` artifact then reports the outcome taxonomy per carrier.
 //!
+//! Observability: the sim-plane metric registry is exported to
+//! `<out>/metrics.json` on every run (suppress with `--no-metrics`);
+//! `--metrics` additionally prints the summary table to stdout.
+//! `--progress` emits one stderr line per shard-day. All wall-clock
+//! readings (stage timings, events/sec) come from the host-plane profiler
+//! and are reported on stderr only, after the run; `--quiet` silences
+//! stderr reporting entirely.
+//!
 //! Text goes to stdout; CSV series and the raw dataset tables go to the
 //! output directory (default `results/`).
 
 #![forbid(unsafe_code)]
 
-use cdns::measure::{CampaignConfig, ExperimentSpec, FaultProfile, Parallelism, WorldConfig};
+use cdns::measure::{
+    CampaignConfig, ExperimentSpec, FaultProfile, Parallelism, ProgressEvent, WorldConfig,
+};
+use cdns::obs::host::{Profiler, Stage};
 use cdns::{figures, Study, StudyConfig};
 use std::fs;
 use std::path::PathBuf;
-use std::time::Instant;
 
 struct Args {
     targets: Vec<String>,
@@ -37,6 +48,10 @@ struct Args {
     three_g: bool,
     threads: Option<usize>,
     fault_profile: FaultProfile,
+    metrics_table: bool,
+    write_metrics: bool,
+    progress: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,10 +63,18 @@ fn parse_args() -> Result<Args, String> {
     let mut three_g = false;
     let mut threads = None;
     let mut fault_profile = FaultProfile::None;
+    let mut metrics_table = false;
+    let mut write_metrics = true;
+    let mut progress = false;
+    let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ecs" => ecs = true,
+            "--metrics" => metrics_table = true,
+            "--no-metrics" => write_metrics = false,
+            "--progress" => progress = true,
+            "--quiet" => quiet = true,
             "--fault-profile" => {
                 let name = it
                     .next()
@@ -90,7 +113,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N] [--fault-profile none|cellular|stress]".into());
+                return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N] [--fault-profile none|cellular|stress] [--metrics] [--no-metrics] [--progress] [--quiet]".into());
             }
             other => targets.push(other.to_string()),
         }
@@ -107,6 +130,10 @@ fn parse_args() -> Result<Args, String> {
         three_g,
         threads,
         fault_profile,
+        metrics_table,
+        write_metrics,
+        progress,
+        quiet,
     })
 }
 
@@ -155,43 +182,80 @@ fn main() {
     if let Some(n) = args.threads {
         config.parallelism = Parallelism::Threads(n);
     }
-    if args.ecs {
-        eprintln!("repro: ECS (RFC 7871) deployment enabled");
-    }
-    if args.three_g {
-        eprintln!("repro: building the pre-LTE (Xu et al.) era");
-    }
-    if args.fault_profile.is_active() {
+    let mut prof = Profiler::new(!args.quiet);
+    if !args.quiet {
+        if args.ecs {
+            eprintln!("repro: ECS (RFC 7871) deployment enabled");
+        }
+        if args.three_g {
+            eprintln!("repro: building the pre-LTE (Xu et al.) era");
+        }
+        if args.fault_profile.is_active() {
+            eprintln!(
+                "repro: fault profile '{}' active (hardened client path engaged)",
+                args.fault_profile.label()
+            );
+        }
         eprintln!(
-            "repro: fault profile '{}' active (hardened client path engaged)",
-            args.fault_profile.label()
+            "repro: building world (scale={}, seed={}) ...",
+            args.scale, args.seed
         );
     }
 
-    eprintln!(
-        "repro: building world (scale={}, seed={}) ...",
-        args.scale, args.seed
-    );
-    let t0 = Instant::now();
+    let build = Stage::begin("build world");
     let mut study = Study::new(config);
-    eprintln!(
-        "repro: world ready ({} nodes) in {:.1}s; running campaign ({} days x {}/day x {} devices, {} threads) ...",
-        study.world.node_count(),
-        t0.elapsed().as_secs_f64(),
-        study.campaign.days,
-        study.campaign.experiments_per_day,
-        study.world.device_count(),
-        study.parallelism.resolve(study.world.carrier_count()),
+    prof.record(build.end());
+    if !args.quiet {
+        eprintln!(
+            "repro: world ready ({} nodes); running campaign ({} days x {}/day x {} devices, {} threads) ...",
+            study.world.node_count(),
+            study.campaign.days,
+            study.campaign.experiments_per_day,
+            study.world.device_count(),
+            study.parallelism.resolve(study.world.carrier_count()),
+        );
+    }
+
+    let tick = |ev: ProgressEvent<'_>| {
+        eprintln!(
+            "repro: [shard {}] {} day {}/{} — {} records, {} events",
+            ev.shard,
+            ev.carrier,
+            ev.day + 1,
+            ev.days,
+            ev.records,
+            ev.events
+        );
+    };
+    let progress: Option<&cdns::measure::ProgressFn> = if args.progress && !args.quiet {
+        Some(&tick)
+    } else {
+        None
+    };
+    let campaign = Stage::begin("campaign");
+    let run = study.run_observed(progress);
+    let dataset = run.dataset;
+    let events = study.world.total_events();
+    prof.record_with_rates(
+        campaign.end(),
+        &[
+            (events, "events"),
+            (dataset.records.len() as u64, "experiments"),
+        ],
     );
-    let t1 = Instant::now();
-    let dataset = study.run();
-    eprintln!(
-        "repro: campaign done in {:.1}s — {} experiments, {} resolutions, {} engine events",
-        t1.elapsed().as_secs_f64(),
+    let per_shard: Vec<u64> = study
+        .world
+        .shards
+        .iter()
+        .map(|s| s.net.stats.events)
+        .collect();
+    prof.shard_imbalance("events", &per_shard);
+    prof.note(format!(
+        "{} experiments, {} resolutions, {} engine events",
         dataset.records.len(),
         dataset.resolution_count(),
-        study.world.total_events(),
-    );
+        events,
+    ));
 
     if let Err(e) = fs::create_dir_all(&args.out) {
         eprintln!("repro: cannot create {}: {e}", args.out.display());
@@ -200,6 +264,13 @@ fn main() {
     // Raw dataset tables.
     if let Err(e) = dataset.write_csvs(&args.out) {
         eprintln!("repro: cannot write raw tables: {e}");
+    }
+    // Sim-plane metrics: deterministic bytes, part of the replay contract.
+    if args.write_metrics {
+        let path = args.out.join("metrics.json");
+        if let Err(e) = fs::write(&path, run.metrics.to_json()) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+        }
     }
 
     let run_all = args.targets.iter().any(|t| t == "all");
@@ -227,9 +298,20 @@ fn main() {
             }
         }
     }
-    eprintln!(
-        "repro: wrote {} artifacts + raw tables to {}",
-        artifacts.len(),
-        args.out.display()
-    );
+    // The metrics summary table is opt-in stdout: the default stream stays
+    // byte-stable for consumers that parse artifact text.
+    if args.metrics_table {
+        print!("{}", run.metrics.render_table("campaign vitals"));
+    }
+    if !args.quiet {
+        let report = prof.report();
+        if !report.is_empty() {
+            eprint!("repro: host-plane profile\n{report}");
+        }
+        eprintln!(
+            "repro: wrote {} artifacts + raw tables to {}",
+            artifacts.len(),
+            args.out.display()
+        );
+    }
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI vitals check over the repro smoke run's observability output.
+
+Usage:
+    vitals_check.py <metrics.json> <host-profile.txt> <baseline.json> <fault-profile>
+
+Two gates, one per observability plane:
+
+1. Sim plane (`metrics.json`): the key campaign counters must be nonzero —
+   a campaign that ran but counted nothing means the harvest wiring broke.
+   Under the `cellular` fault profile the chaos layer must also have
+   injected faults.
+2. Host plane (captured stderr profile): the campaign stage's events/sec
+   throughput must not regress more than 30% below the low edge of the
+   checked-in baseline band. The band's low edge is set conservatively for
+   shared CI runners; the 30% grace absorbs runner-to-runner noise on top.
+
+Stdlib only — the repo vendors all Rust deps and installs nothing in CI.
+"""
+
+import json
+import re
+import sys
+
+
+def counter_total(metrics, name):
+    return sum(c["value"] for c in metrics.get("counters", []) if c["name"] == name)
+
+
+def parse_events_per_sec(profile_text):
+    """Reads the `N events/s` rate from the host-plane profile, undoing the
+    compact `912` / `4.1k` / `7.6M` rendering."""
+    m = re.search(r"([0-9.]+)([kM]?) events/s", profile_text)
+    if not m:
+        return None
+    return float(m.group(1)) * {"": 1.0, "k": 1e3, "M": 1e6}[m.group(2)]
+
+
+def main():
+    if len(sys.argv) != 5:
+        print(__doc__, file=sys.stderr)
+        return 2
+    metrics_path, profile_path, baseline_path, fault_profile = sys.argv[1:]
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    with open(profile_path) as f:
+        profile_text = f.read()
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    required = ["campaign.experiments", "campaign.lookups", "dns.cache.hits"]
+    if fault_profile == "cellular":
+        required.append("fault.injected")
+    for name in required:
+        total = counter_total(metrics, name)
+        print(f"vitals: {name} = {total}")
+        if total == 0:
+            failures.append(f"counter {name} is zero")
+
+    rate = parse_events_per_sec(profile_text)
+    low = baseline["events_per_sec"]["low"]
+    floor = low * (1.0 - baseline["regression_tolerance"])
+    if rate is None:
+        failures.append("no `events/s` rate found in the host-plane profile")
+    else:
+        print(f"vitals: campaign throughput = {rate:.0f} events/s "
+              f"(baseline low {low:.0f}, failure floor {floor:.0f})")
+        if rate < floor:
+            failures.append(
+                f"events/sec regressed: {rate:.0f} < {floor:.0f} "
+                f"(>{baseline['regression_tolerance']:.0%} below baseline low)")
+
+    if failures:
+        for f in failures:
+            print(f"vitals-check FAILED: {f}", file=sys.stderr)
+        return 1
+    print("vitals-check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,3 +29,4 @@ pub use dnssim;
 pub use dnswire;
 pub use measure;
 pub use netsim;
+pub use obs;
