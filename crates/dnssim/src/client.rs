@@ -17,7 +17,7 @@
 use crate::authority::DNS_PORT;
 use crate::tcp::DNS_TCP_PORT;
 use dnswire::builder::QueryBuilder;
-use dnswire::message::{Message, Rcode};
+use dnswire::message::{Message, MessageView, Rcode};
 use dnswire::name::DnsName;
 use dnswire::rdata::RecordType;
 use netsim::engine::{FlowResult, Network};
@@ -274,7 +274,15 @@ fn resolve_classic(
         let flow = net.udp_request(node, resolver, DNS_PORT, payload, timeout);
         let outcome = net.run_until(flow);
         if let FlowResult::Response { payload, .. } = outcome.result {
-            let msg = Message::decode(&payload).ok();
+            // Zero-copy peek first: reject spoofed / garbled responses by id
+            // without paying for a full decode. A payload the view rejects
+            // (short header) would fail the full decode too.
+            let id_matches = MessageView::new(&payload).is_ok_and(|v| v.id() == id);
+            let msg = if id_matches {
+                Message::decode(&payload).ok()
+            } else {
+                None
+            };
             // Reject responses whose id does not match (spoofing guard).
             if let Some(msg) = msg.filter(|m| m.header.id == id) {
                 // Resolution time is measured from the *first* attempt, as
@@ -344,9 +352,13 @@ fn resolve_hardened(
             let flow_outcome = net.run_until(flow);
             match flow_outcome.result {
                 FlowResult::Response { payload, .. } => {
+                    // Same zero-copy id precheck as the classic loop.
+                    if !MessageView::new(&payload).is_ok_and(|v| v.id() == id) {
+                        continue; // spoofed or garbled: retry
+                    }
                     let Some(msg) = Message::decode(&payload).ok().filter(|m| m.header.id == id)
                     else {
-                        continue; // spoofed or garbled: retry
+                        continue; // garbled past the header: retry
                     };
                     if msg.header.flags.truncated && policy.tcp_fallback {
                         match resolve_over_tcp(net, node, raddr, qname, qtype, deadline) {

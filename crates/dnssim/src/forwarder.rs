@@ -7,7 +7,7 @@
 //! its [`UpstreamPolicy`] is what produces each carrier's pairing
 //! consistency in Table 3 and the client↔resolver churn of §4.5.
 
-use dnswire::message::{Header, Message, Rcode};
+use dnswire::message::{Header, Message, MessageView, Rcode};
 use netsim::engine::{Egress, ServiceCtx, UdpService};
 use netsim::time::{SimDuration, SimTime};
 use rand::Rng;
@@ -295,6 +295,15 @@ impl UdpService for Forwarder {
         payload: &[u8],
     ) -> Vec<Egress> {
         self.expire(ctx.now);
+        // Zero-copy precheck: an upstream response whose transaction id is
+        // not pending (late duplicate, spoof) is dropped on the header peek
+        // alone, before paying for a full record decode.
+        let Ok(view) = MessageView::new(payload) else {
+            return Vec::new();
+        };
+        if view.is_response() && !self.pending.contains_key(&view.id()) {
+            return Vec::new();
+        }
         let Ok(mut msg) = Message::decode(payload) else {
             return Vec::new();
         };

@@ -10,6 +10,12 @@
 //!
 //! * [`name::DnsName`] — validated domain names with case-insensitive
 //!   comparison semantics.
+//! * [`nameref::NameRef`] — the zero-copy decode-side counterpart: a
+//!   borrowed, validated view of a wire name that parses and compares
+//!   straight out of the message buffer, converting to an owned
+//!   [`name::DnsName`] only at cache/record boundaries.
+//!   [`message::MessageView`] builds on it for allocation-free header and
+//!   first-question peeks on receive hot paths.
 //! * [`message::Message`] — full message encode/decode including name
 //!   compression pointers (encode-side suffix reuse, decode-side loop and
 //!   bounds protection).
@@ -42,10 +48,12 @@ pub mod edns;
 pub mod error;
 pub mod message;
 pub mod name;
+pub mod nameref;
 pub mod rdata;
 
 pub use edns::EdnsOption;
 pub use error::WireError;
-pub use message::{Flags, Header, Message, Opcode, Question, Rcode, ResourceRecord};
+pub use message::{Flags, Header, Message, MessageView, Opcode, Question, Rcode, ResourceRecord};
 pub use name::DnsName;
+pub use nameref::NameRef;
 pub use rdata::{RData, RecordClass, RecordType, SoaData};

@@ -1,7 +1,8 @@
 //! DNS message structure and the wire codec, including name compression.
 
 use crate::error::WireError;
-use crate::name::{DnsName, MAX_NAME_LEN};
+use crate::name::DnsName;
+use crate::nameref::NameRef;
 use crate::rdata::{RData, RecordClass, RecordType};
 use std::collections::HashMap;
 
@@ -10,11 +11,6 @@ pub const MAX_MESSAGE_LEN: usize = 65_535;
 
 /// Largest offset a 14-bit compression pointer can reference.
 const MAX_POINTER_TARGET: usize = 0x3FFF;
-
-/// Upper bound on pointer follows while decoding one name. A legal message
-/// cannot chain more pointers than it has bytes / 2; this constant is far
-/// above any real chain while still bounding adversarial input.
-const MAX_POINTER_JUMPS: usize = 128;
 
 /// Query/response operation codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -459,65 +455,71 @@ impl<'a> Cursor<'a> {
     }
 
     /// Reads a possibly-compressed name starting at the cursor.
+    ///
+    /// Decoding is zero-copy until the final conversion: the borrowed
+    /// [`NameRef`] validates structure and alphabet in place, and
+    /// [`NameRef::to_name`] then allocates exactly once per label.
     pub(crate) fn read_name(&mut self) -> Result<DnsName, WireError> {
-        let mut labels: Vec<Vec<u8>> = Vec::new();
-        let mut wire_len = 1usize; // terminating root octet
-        let mut read_pos = self.pos;
-        // Position the cursor should resume from; set when the first pointer
-        // is followed.
-        let mut resume: Option<usize> = None;
-        let mut jumps = 0usize;
-        loop {
-            let len_byte = *self.buf.get(read_pos).ok_or(WireError::Truncated {
-                context: "name label",
-            })?;
-            match len_byte & 0xC0 {
-                0x00 => {
-                    read_pos += 1;
-                    if len_byte == 0 {
-                        break;
-                    }
-                    let len = len_byte as usize;
-                    let end = read_pos + len;
-                    if end > self.buf.len() {
-                        return Err(WireError::Truncated {
-                            context: "name label",
-                        });
-                    }
-                    wire_len += len + 1;
-                    if wire_len > MAX_NAME_LEN {
-                        return Err(WireError::NameTooLong(wire_len));
-                    }
-                    labels.push(self.buf[read_pos..end].to_vec());
-                    read_pos = end;
-                }
-                0xC0 => {
-                    let second = *self.buf.get(read_pos + 1).ok_or(WireError::Truncated {
-                        context: "compression pointer",
-                    })?;
-                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
-                    if target >= read_pos {
-                        return Err(WireError::BadCompressionPointer {
-                            target,
-                            at: read_pos,
-                        });
-                    }
-                    jumps += 1;
-                    if jumps > MAX_POINTER_JUMPS {
-                        return Err(WireError::CompressionLoop);
-                    }
-                    if resume.is_none() {
-                        resume = Some(read_pos + 2);
-                    }
-                    read_pos = target;
-                }
-                other => {
-                    return Err(WireError::ReservedLabelType(other));
-                }
-            }
+        let (name, consumed) = NameRef::parse(self.buf, self.pos)?;
+        self.pos += consumed;
+        Ok(name.to_name())
+    }
+
+    /// Reads a possibly-compressed name without converting to owned form.
+    pub(crate) fn read_name_ref(&mut self) -> Result<NameRef<'a>, WireError> {
+        let (name, consumed) = NameRef::parse(self.buf, self.pos)?;
+        self.pos += consumed;
+        Ok(name)
+    }
+}
+
+/// A cheap, allocation-free view over an encoded message: fixed header
+/// fields plus the first question, parsed on demand straight out of the
+/// buffer. Receive hot paths use this to reject mismatched or irrelevant
+/// datagrams (wrong transaction id, wrong qname) before paying for a full
+/// [`Message::decode`].
+pub struct MessageView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> MessageView<'a> {
+    /// Wraps `buf` if it is at least a full 12-byte header.
+    pub fn new(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated { context: "header" });
         }
-        self.pos = resume.unwrap_or(read_pos);
-        DnsName::from_labels(labels)
+        Ok(MessageView { buf })
+    }
+
+    /// Transaction id (first header word).
+    pub fn id(&self) -> u16 {
+        u16::from_be_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// QR bit: `true` when the message claims to be a response.
+    pub fn is_response(&self) -> bool {
+        self.buf[2] & 0x80 != 0
+    }
+
+    /// Question-section entry count.
+    pub fn qdcount(&self) -> u16 {
+        u16::from_be_bytes([self.buf[4], self.buf[5]])
+    }
+
+    /// Borrowed first question: `(qname, qtype, qclass)`, or `None` when
+    /// the question section is empty.
+    pub fn question(&self) -> Result<Option<(NameRef<'a>, RecordType, RecordClass)>, WireError> {
+        if self.qdcount() == 0 {
+            return Ok(None);
+        }
+        let mut cur = Cursor {
+            buf: self.buf,
+            pos: 12,
+        };
+        let qname = cur.read_name_ref()?;
+        let qtype = RecordType::from_code(cur.read_u16("qtype")?);
+        let qclass = RecordClass::from_code(cur.read_u16("qclass")?);
+        Ok(Some((qname, qtype, qclass)))
     }
 }
 

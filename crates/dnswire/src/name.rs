@@ -59,6 +59,23 @@ impl DnsName {
         Ok(name)
     }
 
+    /// Builds a name from labels that a wire-format validator
+    /// ([`crate::nameref::NameRef::parse`]) has already checked and
+    /// lowercased. Skips re-validation and re-allocation — this is the
+    /// zero-copy decode path's single conversion point.
+    pub(crate) fn from_validated_wire_labels(labels: Vec<Vec<u8>>) -> Self {
+        debug_assert!(labels.iter().all(|l| {
+            !l.is_empty()
+                && l.len() <= MAX_LABEL_LEN
+                && l.iter().all(|&b| {
+                    (b.is_ascii_alphanumeric() && !b.is_ascii_uppercase()) || b == b'-' || b == b'_'
+                })
+        }));
+        let name = DnsName { labels };
+        debug_assert!(name.wire_len() <= MAX_NAME_LEN);
+        name
+    }
+
     fn validate_label(bytes: &[u8]) -> Result<Vec<u8>, WireError> {
         if bytes.is_empty() {
             return Err(WireError::EmptyLabel);

@@ -1,0 +1,380 @@
+//! Zero-copy borrowed names over a received message buffer.
+//!
+//! [`NameRef`] is the decode-side counterpart of [`DnsName`]: it validates a
+//! (possibly compressed) wire name in place and then iterates, compares and
+//! hashes labels straight out of the message buffer. Nothing is allocated
+//! until [`NameRef::to_name`] converts to an owned [`DnsName`] at a cache or
+//! record boundary, and that conversion allocates exactly once per label —
+//! parse-and-compare paths (response filtering, cache probes) never touch
+//! the allocator at all.
+//!
+//! Comparison semantics are identical to [`DnsName`]: case-insensitive,
+//! label-wise, leftmost label most significant — so a `NameRef` can stand in
+//! for an owned name in any ordered lookup without changing the order.
+
+use crate::error::WireError;
+use crate::name::{DnsName, MAX_NAME_LEN};
+
+/// Upper bound on pointer follows while decoding one name. A legal message
+/// cannot chain more pointers than it has bytes / 2; this constant is far
+/// above any real chain while still bounding adversarial input.
+const MAX_POINTER_JUMPS: usize = 128;
+
+/// A validated borrowed view of a wire-format name inside `buf`,
+/// starting at `start`.
+///
+/// Construction via [`NameRef::parse`] performs the full structural and
+/// byte-alphabet validation the owned decode path does (bounds, strictly
+/// backward pointers, jump bound, 255-octet name cap, LDH+underscore
+/// labels), so every accessor afterwards can walk the buffer infallibly.
+#[derive(Clone, Copy)]
+pub struct NameRef<'a> {
+    buf: &'a [u8],
+    start: usize,
+}
+
+impl<'a> NameRef<'a> {
+    /// Validates the name starting at `buf[start]` and returns it together
+    /// with the number of bytes it occupies *in sequence* (up to and
+    /// including either the root octet or the first compression pointer) —
+    /// i.e. how far a cursor should advance past it.
+    ///
+    /// Error variants and their precedence match the original eager
+    /// decoder exactly: structural errors surface during the walk, label
+    /// alphabet violations after it.
+    pub fn parse(buf: &'a [u8], start: usize) -> Result<(NameRef<'a>, usize), WireError> {
+        let mut wire_len = 1usize; // terminating root octet
+        let mut read_pos = start;
+        // Bytes consumed in sequence; set when the first pointer is met.
+        let mut consumed: Option<usize> = None;
+        let mut jumps = 0usize;
+        loop {
+            let len_byte = *buf.get(read_pos).ok_or(WireError::Truncated {
+                context: "name label",
+            })?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    read_pos += 1;
+                    if len_byte == 0 {
+                        break;
+                    }
+                    let len = len_byte as usize;
+                    let end = read_pos + len;
+                    if end > buf.len() {
+                        return Err(WireError::Truncated {
+                            context: "name label",
+                        });
+                    }
+                    wire_len += len + 1;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    read_pos = end;
+                }
+                0xC0 => {
+                    let second = *buf.get(read_pos + 1).ok_or(WireError::Truncated {
+                        context: "compression pointer",
+                    })?;
+                    let target = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                    if target >= read_pos {
+                        return Err(WireError::BadCompressionPointer {
+                            target,
+                            at: read_pos,
+                        });
+                    }
+                    jumps += 1;
+                    if jumps > MAX_POINTER_JUMPS {
+                        return Err(WireError::CompressionLoop);
+                    }
+                    if consumed.is_none() {
+                        consumed = Some(read_pos + 2 - start);
+                    }
+                    read_pos = target;
+                }
+                other => {
+                    return Err(WireError::ReservedLabelType(other));
+                }
+            }
+        }
+        let name = NameRef { buf, start };
+        // Alphabet validation after the structural walk, in label order —
+        // the same order the eager decoder reported these errors in.
+        for label in name.labels() {
+            for &b in label {
+                let ok = b.is_ascii_alphanumeric() || b == b'-' || b == b'_';
+                if !ok {
+                    return Err(WireError::InvalidLabelByte(b));
+                }
+            }
+        }
+        // Lazy: after a pointer jump `read_pos` may sit before `start`, but
+        // then `consumed` was recorded at the jump.
+        Ok((name, consumed.unwrap_or_else(|| read_pos - start)))
+    }
+
+    /// Iterator over the labels as raw (original-case) byte slices of the
+    /// message buffer, leftmost first, following compression pointers.
+    pub fn labels(&self) -> LabelIter<'a> {
+        LabelIter {
+            buf: self.buf,
+            pos: self.start,
+        }
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// `true` for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels().next().is_none()
+    }
+
+    /// Length in uncompressed wire format, including length octets and the
+    /// terminating zero octet (same definition as [`DnsName::wire_len`]).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// Converts to an owned, lowercase-normalized [`DnsName`]. This is the
+    /// single allocation point of the decode path: one `Vec` per label plus
+    /// the label list, no re-validation.
+    pub fn to_name(&self) -> DnsName {
+        let labels: Vec<Vec<u8>> = self
+            .labels()
+            .map(|l| l.iter().map(u8::to_ascii_lowercase).collect())
+            .collect();
+        DnsName::from_validated_wire_labels(labels)
+    }
+}
+
+/// Iterator over a validated name's labels; never fails because
+/// [`NameRef::parse`] proved the walk terminates in bounds.
+pub struct LabelIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        loop {
+            let len_byte = *self.buf.get(self.pos)?;
+            match len_byte & 0xC0 {
+                0x00 => {
+                    if len_byte == 0 {
+                        return None;
+                    }
+                    let start = self.pos + 1;
+                    let end = start + len_byte as usize;
+                    let label = self.buf.get(start..end)?;
+                    self.pos = end;
+                    return Some(label);
+                }
+                0xC0 => {
+                    let second = *self.buf.get(self.pos + 1)?;
+                    self.pos = (((len_byte & 0x3F) as usize) << 8) | second as usize;
+                }
+                _ => return None, // unreachable post-validation
+            }
+        }
+    }
+}
+
+fn cmp_label_seqs<'a, A, B>(a: A, b: B) -> std::cmp::Ordering
+where
+    A: Iterator<Item = &'a [u8]>,
+    B: Iterator<Item = &'a [u8]>,
+{
+    let mut a = a;
+    let mut b = b;
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => return std::cmp::Ordering::Equal,
+            (None, Some(_)) => return std::cmp::Ordering::Less,
+            (Some(_), None) => return std::cmp::Ordering::Greater,
+            (Some(la), Some(lb)) => {
+                let c = la
+                    .iter()
+                    .map(u8::to_ascii_lowercase)
+                    .cmp(lb.iter().map(u8::to_ascii_lowercase));
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for NameRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for NameRef<'_> {}
+
+impl PartialOrd for NameRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NameRef<'_> {
+    /// Total order identical to [`DnsName`]'s derived order on normalized
+    /// labels: lexicographic over the label list, each label compared
+    /// bytewise after ASCII-lowercasing.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_label_seqs(self.labels(), other.labels())
+    }
+}
+
+impl PartialEq<DnsName> for NameRef<'_> {
+    fn eq(&self, other: &DnsName) -> bool {
+        // DnsName labels are already lowercase; ours are lowercased on the
+        // fly by the shared comparator.
+        cmp_label_seqs(self.labels(), other.labels().iter().map(Vec::as_slice))
+            == std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialEq<NameRef<'_>> for DnsName {
+    fn eq(&self, other: &NameRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl NameRef<'_> {
+    /// Ordering against an owned name, consistent with converting first:
+    /// `a.cmp_name(&b) == a.to_name().cmp(&b)`.
+    pub fn cmp_name(&self, other: &DnsName) -> std::cmp::Ordering {
+        cmp_label_seqs(self.labels(), other.labels().iter().map(Vec::as_slice))
+    }
+}
+
+impl std::fmt::Display for NameRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for label in self.labels() {
+            if !first {
+                write!(f, ".")?;
+            }
+            first = false;
+            for &b in label {
+                write!(f, "{}", b.to_ascii_lowercase() as char)?;
+            }
+        }
+        if first {
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for NameRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NameRef({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encodes labels + root, no compression.
+    fn wire(labels: &[&str]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for l in labels {
+            out.push(l.len() as u8);
+            out.extend_from_slice(l.as_bytes());
+        }
+        out.push(0);
+        out
+    }
+
+    #[test]
+    fn parse_plain_name() {
+        let buf = wire(&["WWW", "Example", "com"]);
+        let (name, consumed) = NameRef::parse(&buf, 0).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(name.label_count(), 3);
+        assert_eq!(name.to_string(), "www.example.com");
+        assert_eq!(name.to_name(), DnsName::parse("www.example.com").unwrap());
+        assert_eq!(name.wire_len(), buf.len());
+    }
+
+    #[test]
+    fn parse_root() {
+        let buf = vec![0u8];
+        let (name, consumed) = NameRef::parse(&buf, 0).unwrap();
+        assert_eq!(consumed, 1);
+        assert!(name.is_root());
+        assert_eq!(name.to_name(), DnsName::root());
+        assert_eq!(name.to_string(), ".");
+    }
+
+    #[test]
+    fn parse_follows_backward_pointer() {
+        // "example.com" at 0, then "www" + pointer to 0 at offset 13.
+        let mut buf = wire(&["example", "com"]);
+        let target = 0u16;
+        let at = buf.len();
+        buf.push(3);
+        buf.extend_from_slice(b"www");
+        buf.extend_from_slice(&(0xC000 | target).to_be_bytes());
+        let (name, consumed) = NameRef::parse(&buf, at).unwrap();
+        assert_eq!(consumed, 6); // 1 + 3 + 2-byte pointer
+        assert_eq!(name.to_string(), "www.example.com");
+    }
+
+    #[test]
+    fn rejects_forward_pointer_and_self_pointer() {
+        // Pointer at offset 0 referencing offset 0 (>= its own position).
+        let buf = vec![0xC0, 0x00];
+        assert!(matches!(
+            NameRef::parse(&buf, 0).unwrap_err(),
+            WireError::BadCompressionPointer { target: 0, at: 0 }
+        ));
+        // Forward pointer: label then pointer to beyond itself.
+        let mut fwd = wire(&["a"]);
+        fwd.pop(); // drop root
+        let at = fwd.len();
+        fwd.extend_from_slice(&(0xC000u16 | 40).to_be_bytes());
+        assert!(matches!(
+            NameRef::parse(&fwd, 0).unwrap_err(),
+            WireError::BadCompressionPointer { target: 40, at } if at == at
+        ));
+    }
+
+    #[test]
+    fn comparisons_are_case_insensitive_and_match_owned_order() {
+        let pairs = [
+            (vec!["CDN", "Example", "net"], vec!["cdn", "example", "NET"]),
+            (vec!["a", "b"], vec!["a", "c"]),
+            (vec!["a"], vec!["a", "b"]),
+            (vec!["zz"], vec!["aa", "bb"]),
+        ];
+        for (la, lb) in pairs {
+            let ba = wire(&la.iter().map(|s| *s).collect::<Vec<_>>());
+            let bb = wire(&lb.iter().map(|s| *s).collect::<Vec<_>>());
+            let (ra, _) = NameRef::parse(&ba, 0).unwrap();
+            let (rb, _) = NameRef::parse(&bb, 0).unwrap();
+            let oa = ra.to_name();
+            let ob = rb.to_name();
+            assert_eq!(ra.cmp(&rb), oa.cmp(&ob), "{oa} vs {ob}");
+            assert_eq!(ra == rb, oa == ob);
+            assert_eq!(ra.cmp_name(&ob), oa.cmp(&ob));
+            assert_eq!(ra == ob, oa == ob);
+        }
+    }
+
+    #[test]
+    fn invalid_label_byte_reported_after_structure() {
+        let buf = wire(&["bad!"]);
+        assert!(matches!(
+            NameRef::parse(&buf, 0).unwrap_err(),
+            WireError::InvalidLabelByte(b'!')
+        ));
+    }
+}

@@ -253,3 +253,170 @@ proptest! {
         }
     }
 }
+
+// --- Name decompression & zero-copy NameRef properties ---------------------
+
+use dnswire::nameref::NameRef;
+use dnswire::WireError;
+
+/// Labels with mixed case, so comparisons must normalize to agree.
+fn arb_mixed_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9_][A-Za-z0-9_-]{0,14}").unwrap()
+}
+
+fn arb_mixed_labels() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_mixed_label(), 0..6)
+}
+
+/// Encodes labels + terminating root octet, no compression.
+fn encode_plain(labels: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for l in labels {
+        out.push(l.len() as u8);
+        out.extend_from_slice(l.as_bytes());
+    }
+    out.push(0);
+    out
+}
+
+fn owned(labels: &[String]) -> DnsName {
+    DnsName::from_labels(labels.iter().map(|l| l.as_bytes())).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn nameref_parse_matches_owned_decode(labels in arb_mixed_labels()) {
+        let buf = encode_plain(&labels);
+        let (name, consumed) = NameRef::parse(&buf, 0).unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(name.label_count(), labels.len());
+        let expect = owned(&labels);
+        prop_assert_eq!(name.to_name(), expect.clone());
+        prop_assert_eq!(name.wire_len(), expect.wire_len());
+        prop_assert!(name == expect);
+    }
+
+    #[test]
+    fn nameref_equality_and_order_match_owned(
+        la in arb_mixed_labels(),
+        lb in arb_mixed_labels(),
+    ) {
+        let (ba, bb) = (encode_plain(&la), encode_plain(&lb));
+        let (ra, _) = NameRef::parse(&ba, 0).unwrap();
+        let (rb, _) = NameRef::parse(&bb, 0).unwrap();
+        let (oa, ob) = (owned(&la), owned(&lb));
+        prop_assert_eq!(ra.cmp(&rb), oa.cmp(&ob));
+        prop_assert_eq!(ra == rb, oa == ob);
+        prop_assert_eq!(ra.cmp_name(&ob), oa.cmp(&ob));
+        prop_assert_eq!(ra == ob, oa == ob);
+        prop_assert_eq!(ra.to_string(), oa.to_string());
+    }
+
+    #[test]
+    fn pointer_chains_expand_to_the_full_name(
+        suffix in proptest::collection::vec(arb_mixed_label(), 1..4),
+        prefix in proptest::collection::vec(arb_mixed_label(), 1..3),
+        pad in 0usize..8,
+    ) {
+        // Suffix at the front of the buffer (after some padding bytes the
+        // walk never touches), then prefix labels ending in a pointer to it.
+        let mut buf = vec![0xFFu8; pad];
+        let suffix_at = buf.len();
+        buf.extend_from_slice(&encode_plain(&suffix));
+        let name_at = buf.len();
+        for l in &prefix {
+            buf.push(l.len() as u8);
+            buf.extend_from_slice(l.as_bytes());
+        }
+        buf.extend_from_slice(&(0xC000u16 | suffix_at as u16).to_be_bytes());
+        let (name, consumed) = NameRef::parse(&buf, name_at).unwrap();
+        // Consumes only the in-sequence bytes: prefix labels + the pointer.
+        prop_assert_eq!(consumed, buf.len() - name_at);
+        let full: Vec<String> = prefix.iter().chain(suffix.iter()).cloned().collect();
+        prop_assert_eq!(name.to_name(), owned(&full));
+    }
+
+    #[test]
+    fn forward_and_self_pointers_are_rejected(
+        labels in proptest::collection::vec(arb_mixed_label(), 0..3),
+        ahead in 0u16..64,
+    ) {
+        // A pointer targeting its own position or beyond can never resolve.
+        let mut buf = encode_plain(&labels);
+        buf.pop(); // replace the root octet with a bad pointer
+        let at = buf.len();
+        let target = at as u16 + ahead;
+        buf.extend_from_slice(&(0xC000 | target).to_be_bytes());
+        buf.resize(buf.len() + ahead as usize + 4, 0);
+        prop_assert!(matches!(
+            NameRef::parse(&buf, 0).unwrap_err(),
+            WireError::BadCompressionPointer { .. }
+        ));
+    }
+
+    #[test]
+    fn deep_backward_pointer_chains_hit_the_jump_bound(extra in 0usize..4) {
+        // buf[0] is the root; then a chain of pointers each referencing the
+        // previous one. 128 jumps are legal, 129+ trip the loop guard.
+        for chain_len in [1usize, 127, 128, 129, 129 + extra] {
+            let mut buf = vec![0u8];
+            let mut prev = 0usize;
+            let mut start = 0usize;
+            for _ in 0..chain_len {
+                start = buf.len();
+                buf.extend_from_slice(&(0xC000u16 | prev as u16).to_be_bytes());
+                prev = start;
+            }
+            let got = NameRef::parse(&buf, start);
+            if chain_len <= 128 {
+                let (name, consumed) = got.unwrap();
+                prop_assert!(name.is_root());
+                prop_assert_eq!(consumed, 2);
+            } else {
+                prop_assert!(matches!(got.unwrap_err(), WireError::CompressionLoop));
+            }
+        }
+    }
+
+    #[test]
+    fn chains_crossing_max_name_len_are_rejected(segments in 1usize..8) {
+        // Each segment prepends a 63-byte label via a pointer to the chain so
+        // far: expanded length is 1 + 64 * segments octets. Five segments
+        // cross the 255-octet cap even though each hop is individually legal.
+        let label = [b'x'; 63];
+        let mut buf = vec![0u8]; // the root
+        let mut prev = 0usize;
+        for _ in 0..segments {
+            let start = buf.len();
+            buf.push(63);
+            buf.extend_from_slice(&label);
+            buf.extend_from_slice(&(0xC000u16 | prev as u16).to_be_bytes());
+            prev = start;
+        }
+        let expanded = 1 + 64 * segments;
+        let got = NameRef::parse(&buf, prev);
+        if expanded <= 255 {
+            let (name, _) = got.unwrap();
+            prop_assert_eq!(name.wire_len(), expanded);
+            prop_assert_eq!(name.label_count(), segments);
+        } else {
+            prop_assert!(matches!(got.unwrap_err(), WireError::NameTooLong(_)));
+        }
+    }
+
+    #[test]
+    fn nameref_parse_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        start in 0usize..300,
+    ) {
+        // Absence of panic (and of an infinite walk) is the property; the
+        // labels of any accepted name must also be iterable in bounds.
+        if let Ok((name, consumed)) = NameRef::parse(&bytes, start) {
+            prop_assert!(consumed <= bytes.len().saturating_sub(start));
+            prop_assert!(name.wire_len() <= 255);
+            let _ = name.to_name();
+        }
+    }
+}

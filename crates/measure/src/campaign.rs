@@ -147,6 +147,10 @@ fn run_shard_campaign(
     for d in &shard.devices {
         visited[d.site] = true;
     }
+    // High-water mark of the engine's completed-flow backlog, sampled just
+    // before each reap: proves the drain policy keeps it bounded no matter
+    // how many days the campaign runs.
+    let mut completed_high_water = 0u64;
     for day in 0..cfg.days {
         let day_start = SimTime::ZERO + SimDuration::from_days(day as u64);
         // Daily churn pass (commuting, bearer re-homing); route rebuilds are
@@ -194,6 +198,10 @@ fn run_shard_campaign(
                 let id = shard.devices[i].id as u64;
                 let t = slot_start + SimDuration::from_secs(13 * id);
                 shard.net.skip_to(t);
+                // Reap outcomes nobody polled from earlier experiments so
+                // the completed-flow map stays bounded over a campaign.
+                completed_high_water = completed_high_water.max(shard.net.completed_len() as u64);
+                shard.net.take_completed_before(t);
                 let record = run_experiment_in_shard(backbone, shard, i, *device_seq, &cfg.spec);
                 *device_seq += 1;
                 records.push(record);
@@ -215,6 +223,11 @@ fn run_shard_campaign(
     }
     let mut metrics = obs::Registry::new();
     harvest_shard(backbone, shard, &records, &mut metrics);
+    metrics.gauge_set(
+        "campaign.completed_backlog",
+        &[("carrier", shard.carrier.profile.name)],
+        completed_high_water,
+    );
     ShardRun {
         records,
         external_reach,

@@ -149,7 +149,9 @@ impl Network {
                     reached = from == target;
                     break;
                 }
-                FlowResult::TimedOut => {
+                // `Unknown` cannot occur for a flow created just above, but
+                // a silent hop is the honest rendering if it ever does.
+                FlowResult::TimedOut | FlowResult::Unknown => {
                     hops.push(TraceHop {
                         ttl,
                         addr: None,

@@ -8,14 +8,14 @@
 //! the seed.
 
 use crate::packet::{IcmpMsg, Packet, ProbeKey, Transport};
+use crate::queue::{Event, EventQueue, QueueKind};
 use crate::route::RouteTable;
 use crate::time::{SimDuration, SimTime};
 use crate::topo::{NodeId, NodeKind, Topology};
 use crate::trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Identifier of a client transaction (an outstanding probe or request).
@@ -49,6 +49,10 @@ pub enum FlowResult {
     },
     /// No answer before the deadline.
     TimedOut,
+    /// The engine was asked about a flow it is not tracking (already
+    /// polled, or a foreign id). Distinguished from [`FlowResult::TimedOut`]
+    /// so drivers cannot mistake a bookkeeping error for a real timeout.
+    Unknown,
 }
 
 /// A completed transaction with timing.
@@ -70,7 +74,7 @@ impl FlowOutcome {
 
     /// Whether the flow produced any answer at all.
     pub fn answered(&self) -> bool {
-        !matches!(self.result, FlowResult::TimedOut)
+        !matches!(self.result, FlowResult::TimedOut | FlowResult::Unknown)
     }
 }
 
@@ -189,10 +193,15 @@ pub struct NetStats {
     pub sends: u64,
     /// `ServiceTick` events dispatched.
     pub service_ticks: u64,
-    /// `FlowTimeout` events dispatched (whether or not the flow was still
-    /// pending).
+    /// `FlowTimeout` events that actually fired (the flow's deadline was
+    /// reached before it was cancelled; compare `timeouts`, which counts
+    /// only the subset where the flow was still pending).
     pub flow_timeouts: u64,
-    /// Deepest the event queue ever got (scheduled-but-undispatched events).
+    /// `FlowTimeout` events cancelled before firing because their flow
+    /// completed early; these are reaped from the queue undispatched.
+    pub flow_timeouts_cancelled: u64,
+    /// Deepest the event queue ever got (live scheduled-but-undispatched
+    /// events; cancelled events stop counting at cancellation).
     pub queue_high_water: u64,
 }
 
@@ -216,6 +225,16 @@ impl NetStats {
             kl.push(("kind", kind));
             reg.inc_by("net.events_by_kind", &kl, n);
         }
+        // The fired/cancelled split: `net.flow_timeouts` counts deadline
+        // events that actually dispatched, `net.flow_timeouts_cancelled`
+        // the ones reaped from the queue because their flow completed
+        // first. Their sum is every timeout ever scheduled.
+        reg.inc_by("net.flow_timeouts", labels, self.flow_timeouts);
+        reg.inc_by(
+            "net.flow_timeouts_cancelled",
+            labels,
+            self.flow_timeouts_cancelled,
+        );
         let by_cause: [(&str, u64); 6] = [
             ("firewall", self.firewall_drops),
             ("nat", self.nat_drops),
@@ -257,29 +276,6 @@ enum EventKind {
     },
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 #[derive(Debug)]
 struct Pending {
     node: NodeId,
@@ -287,6 +283,9 @@ struct Pending {
     /// Demux keys to clean up on completion.
     port: Option<u16>,
     ident: Option<u64>,
+    /// Seq of this flow's scheduled `FlowTimeout` event, cancelled when the
+    /// flow completes before its deadline.
+    timeout_seq: u64,
 }
 
 /// Per-hop forwarding/processing delay added on top of link latency.
@@ -302,14 +301,16 @@ pub struct Network {
     routes: RouteTable,
     anycast: HashMap<Ipv4Addr, Vec<NodeId>>,
     services: HashMap<(NodeId, u16), Box<dyn UdpService>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: Box<dyn EventQueue<EventKind>>,
     seq: u64,
     now: SimTime,
     rng: StdRng,
     pending: HashMap<FlowId, Pending>,
     port_index: HashMap<(NodeId, u16), FlowId>,
     ident_index: HashMap<u64, FlowId>,
-    completed: HashMap<FlowId, FlowOutcome>,
+    /// Completed-but-unpolled outcomes. BTree so the drain API returns in
+    /// flow order; bounded by callers via [`Network::take_completed_before`].
+    completed: BTreeMap<FlowId, FlowOutcome>,
     next_flow: u64,
     next_port: u16,
     /// Per (link, direction) transmit-queue occupancy: when the link is
@@ -325,8 +326,16 @@ pub struct Network {
 }
 
 impl Network {
-    /// Wraps a finished topology; routes are computed immediately.
+    /// Wraps a finished topology; routes are computed immediately. Uses the
+    /// default event queue ([`QueueKind::Wheel`]).
     pub fn new(topo: Topology, seed: u64) -> Self {
+        Self::new_with_queue(topo, seed, QueueKind::default())
+    }
+
+    /// Like [`Network::new`], with an explicit event-queue implementation.
+    /// All queue kinds dispatch in the same `(time, seq)` order, so outputs
+    /// are byte-identical across them (checked by `tests/determinism.rs`).
+    pub fn new_with_queue(topo: Topology, seed: u64, queue: QueueKind) -> Self {
         let routes = RouteTable::build(&topo);
         let link_busy_until = vec![[SimTime::ZERO; 2]; topo.links().len()];
         Network {
@@ -334,14 +343,14 @@ impl Network {
             routes,
             anycast: HashMap::new(),
             services: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: queue.build(),
             seq: 0,
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
             pending: HashMap::new(),
             port_index: HashMap::new(),
             ident_index: HashMap::new(),
-            completed: HashMap::new(),
+            completed: BTreeMap::new(),
             next_flow: 1,
             next_port: EPHEMERAL_LO,
             link_busy_until,
@@ -349,6 +358,11 @@ impl Network {
             stats: NetStats::default(),
             tracer: Tracer::new(),
         }
+    }
+
+    /// Which event-queue implementation this engine dispatches from.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// Installs a fault-injection plan. The plan draws from its own seed
@@ -439,15 +453,17 @@ impl Network {
         self.alloc_port(node)
     }
 
-    fn schedule(&mut self, at: SimTime, kind: EventKind) {
+    /// Enqueues an event and returns its seq (the cancellation handle).
+    fn schedule(&mut self, at: SimTime, kind: EventKind) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time: at.max(self.now),
             seq,
             kind,
-        }));
+        });
         self.stats.queue_high_water = self.stats.queue_high_water.max(self.queue.len() as u64);
+        seq
     }
 
     fn alloc_flow(&mut self) -> FlowId {
@@ -490,6 +506,9 @@ impl Network {
         let src_port = self.alloc_port(node);
         let src = self.topo.node(node).primary_addr();
         let packet = Packet::udp(src, src_port, dst, dst_port, payload);
+        self.port_index.insert((node, src_port), flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        let timeout_seq = self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         self.pending.insert(
             flow,
             Pending {
@@ -497,11 +516,9 @@ impl Network {
                 sent_at: self.now,
                 port: Some(src_port),
                 ident: None,
+                timeout_seq,
             },
         );
-        self.port_index.insert((node, src_port), flow);
-        self.schedule(self.now, EventKind::Send { node, packet });
-        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         flow
     }
 
@@ -519,6 +536,9 @@ impl Network {
         let src = self.topo.node(node).primary_addr();
         let mut packet = Packet::udp(src, src_port, dst, dst_port, b"probe".to_vec());
         packet.ttl = ttl;
+        self.port_index.insert((node, src_port), flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        let timeout_seq = self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         self.pending.insert(
             flow,
             Pending {
@@ -526,11 +546,9 @@ impl Network {
                 sent_at: self.now,
                 port: Some(src_port),
                 ident: None,
+                timeout_seq,
             },
         );
-        self.port_index.insert((node, src_port), flow);
-        self.schedule(self.now, EventKind::Send { node, packet });
-        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         flow
     }
 
@@ -553,6 +571,9 @@ impl Network {
         let src = self.topo.node(node).primary_addr();
         let mut packet = Packet::echo_request(src, dst, ident, 0);
         packet.ttl = ttl;
+        self.ident_index.insert(flow.0, flow);
+        self.schedule(self.now, EventKind::Send { node, packet });
+        let timeout_seq = self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         self.pending.insert(
             flow,
             Pending {
@@ -560,17 +581,37 @@ impl Network {
                 sent_at: self.now,
                 port: None,
                 ident: Some(flow.0),
+                timeout_seq,
             },
         );
-        self.ident_index.insert(flow.0, flow);
-        self.schedule(self.now, EventKind::Send { node, packet });
-        self.schedule(self.now + timeout, EventKind::FlowTimeout { flow });
         flow
     }
 
     /// Takes the outcome of a completed flow, if it has completed.
     pub fn poll(&mut self, flow: FlowId) -> Option<FlowOutcome> {
         self.completed.remove(&flow)
+    }
+
+    /// Number of completed-but-unpolled outcomes currently retained.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Drains and returns every completed-but-unpolled outcome recorded at
+    /// or before `t`, in flow order. Campaign drivers call this between
+    /// experiments so outcomes nobody polls cannot accumulate for the life
+    /// of a shard.
+    pub fn take_completed_before(&mut self, t: SimTime) -> Vec<(FlowId, FlowOutcome)> {
+        let mut taken = Vec::new();
+        self.completed.retain(|&flow, outcome| {
+            if outcome.completed_at <= t {
+                taken.push((flow, outcome.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        taken
     }
 
     /// Runs the engine until `flow` completes (or the queue empties, which
@@ -585,10 +626,10 @@ impl Network {
                 self.complete(flow, FlowResult::TimedOut);
                 return self.completed.remove(&flow).unwrap_or(FlowOutcome {
                     // `flow` was never pending (already polled, or a foreign
-                    // id): report the drain itself as an instant timeout.
+                    // id): a real timeout cannot be synthesized, so say so.
                     sent_at: self.now,
                     completed_at: self.now,
-                    result: FlowResult::TimedOut,
+                    result: FlowResult::Unknown,
                 });
             }
         }
@@ -601,7 +642,7 @@ impl Network {
 
     /// Dispatches one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "time went backwards");
@@ -624,21 +665,41 @@ impl Network {
                 self.stats.flow_timeouts += 1;
                 if self.pending.contains_key(&flow) {
                     self.stats.timeouts += 1;
-                    self.complete(flow, FlowResult::TimedOut);
+                    // The timeout itself is firing: complete without trying
+                    // to cancel the very event being dispatched.
+                    self.complete_inner(flow, FlowResult::TimedOut, false);
                 }
             }
         }
         true
     }
 
-    /// Processes all events scheduled at or before `t`, then advances the
-    /// clock to `t`. Used by campaign drivers to pace experiments.
-    pub fn skip_to(&mut self, t: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > t {
+    /// Dispatches every event scheduled for the next occupied instant as
+    /// one batch, including events scheduled *into* that instant while it
+    /// is being drained. Returns the number dispatched (0 when idle).
+    pub fn step_batch(&mut self) -> u64 {
+        let Some(t) = self.queue.next_time() else {
+            return 0;
+        };
+        let mut n = 0;
+        while self.queue.next_time() == Some(t) {
+            if !self.step() {
                 break;
             }
-            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes all events scheduled at or before `t` in per-instant
+    /// batches, then advances the clock to `t`. Used by campaign drivers to
+    /// pace experiments.
+    pub fn skip_to(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.next_time() {
+            if next > t {
+                break;
+            }
+            self.step_batch();
         }
         if t > self.now {
             self.now = t;
@@ -656,12 +717,23 @@ impl Network {
     }
 
     fn complete(&mut self, flow: FlowId, result: FlowResult) {
+        self.complete_inner(flow, result, true);
+    }
+
+    /// Records a flow's outcome. `cancel_timeout` reaps the flow's pending
+    /// `FlowTimeout` event from the queue; it is `false` only when that
+    /// event is the one currently being dispatched.
+    fn complete_inner(&mut self, flow: FlowId, result: FlowResult, cancel_timeout: bool) {
         if let Some(p) = self.pending.remove(&flow) {
             if let Some(port) = p.port {
                 self.port_index.remove(&(p.node, port));
             }
             if let Some(ident) = p.ident {
                 self.ident_index.remove(&ident);
+            }
+            if cancel_timeout {
+                self.queue.cancel(p.timeout_seq);
+                self.stats.flow_timeouts_cancelled += 1;
             }
             self.completed.insert(
                 flow,
@@ -1347,5 +1419,105 @@ mod tests {
         let n = net.run_to_quiescence(10_000);
         assert!(n > 0);
         assert!(!net.step());
+    }
+
+    #[test]
+    fn heap_and_wheel_replay_identically() {
+        let run = |kind: QueueKind| {
+            let mut t = Topology::new();
+            let a = t.add_node(
+                "a",
+                NodeKind::Host,
+                Asn(1),
+                Coord::default(),
+                vec![ip(10, 0, 0, 1)],
+            );
+            let b = t.add_node(
+                "b",
+                NodeKind::Host,
+                Asn(2),
+                Coord::default(),
+                vec![ip(10, 0, 0, 4)],
+            );
+            t.add_link(a, b, LatencyModel::constant_ms(7));
+            let mut net = Network::new_with_queue(t, 99, kind);
+            assert_eq!(net.queue_kind(), kind);
+            net.register_service(b, 53, Box::new(Parrot));
+            let mut rtts = Vec::new();
+            for i in 0..20u8 {
+                let flow =
+                    net.udp_request(a, ip(10, 0, 0, 4), 53, vec![i], SimDuration::from_secs(2));
+                rtts.push(net.run_until(flow).rtt().as_micros());
+            }
+            net.skip_to(SimTime::from_micros(30_000_000));
+            (rtts, net.now(), net.stats.clone())
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Wheel));
+    }
+
+    #[test]
+    fn completed_outcomes_are_drainable_and_bounded() {
+        let (mut net, a, ..) = line_network();
+        // Fire pings without ever polling them: the outcomes land in
+        // `completed` and stay there (the leak this API exists to stop).
+        for _ in 0..10 {
+            net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        }
+        net.run_to_quiescence(100_000);
+        assert_eq!(net.completed_len(), 10);
+        let half_way = net.take_completed_before(SimTime::from_micros(0)).len();
+        assert_eq!(half_way, 0, "nothing completed at t=0");
+        let drained = net.take_completed_before(net.now());
+        assert_eq!(drained.len(), 10);
+        assert_eq!(net.completed_len(), 0);
+        // Drained outcomes arrive in flow order and carry real results.
+        for w in drained.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(drained.iter().all(|(_, o)| o.answered()));
+    }
+
+    #[test]
+    fn early_completion_cancels_the_timeout_event() {
+        let (mut net, a, ..) = line_network();
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        let out = net.run_until(flow);
+        assert!(out.answered());
+        assert_eq!(net.stats.flow_timeouts_cancelled, 1);
+        // The cancelled timeout is reaped, not dispatched: draining the
+        // rest of the run fires no timeout events at all.
+        net.run_to_quiescence(100_000);
+        assert_eq!(net.stats.flow_timeouts, 0);
+        assert_eq!(net.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn real_timeouts_still_fire_and_count() {
+        let (mut net, a, _, _, b) = line_network();
+        net.topo_mut().node_mut(b).answers_ping = crate::topo::PingPolicy::Never;
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_millis(200));
+        let out = net.run_until(flow);
+        assert_eq!(out.result, FlowResult::TimedOut);
+        assert_eq!(net.stats.flow_timeouts, 1);
+        assert_eq!(net.stats.timeouts, 1);
+        assert_eq!(net.stats.flow_timeouts_cancelled, 0);
+    }
+
+    #[test]
+    fn run_until_foreign_flow_reports_unknown_not_timeout() {
+        let (mut net, a, ..) = line_network();
+        let flow = net.ping(a, ip(10, 0, 0, 4), SimDuration::from_secs(5));
+        let first = net.run_until(flow);
+        assert!(first.answered());
+        // Same id again (already polled) and a fabricated id: both must be
+        // typed Unknown, not a fake instant TimedOut.
+        for bogus in [flow, FlowId(999_999)] {
+            let out = net.run_until(bogus);
+            assert_eq!(out.result, FlowResult::Unknown);
+            assert!(!out.answered());
+            assert_eq!(out.rtt(), SimDuration::ZERO);
+        }
+        // And no timeout was counted for either.
+        assert_eq!(net.stats.timeouts, 0);
     }
 }

@@ -11,9 +11,11 @@
 //!
 //! Design (following the event-driven philosophy of the networking guides):
 //!
-//! * [`engine::Network`] owns a binary-heap event queue; time advances only
-//!   by dispatching events, and all randomness flows from one seeded RNG, so
-//!   runs are bit-reproducible.
+//! * [`engine::Network`] owns an event queue ([`queue::EventQueue`]: a
+//!   hierarchical timing wheel by default, the classic binary heap for A/B
+//!   comparison — both dispatch in identical `(time, seq)` order); time
+//!   advances only by dispatching events, and all randomness flows from one
+//!   seeded RNG, so runs are bit-reproducible.
 //! * Packets ([`packet::Packet`]) are forwarded hop by hop over a routed
 //!   topology ([`topo::Topology`], [`route::RouteTable`]), so TTLs,
 //!   traceroute, anycast, and middleboxes behave like the real thing.
@@ -49,6 +51,7 @@ pub mod fault;
 pub mod latency;
 pub mod middlebox;
 pub mod packet;
+pub mod queue;
 pub mod route;
 pub mod tcplite;
 pub mod time;
@@ -65,6 +68,7 @@ pub use engine::{
 pub use fault::{FaultPlan, FaultStats, LinkFault, Spike, Window};
 pub use latency::LatencyModel;
 pub use packet::{IcmpMsg, Packet, Transport};
+pub use queue::{EventQueue, HeapQueue, QueueKind, TimingWheel};
 pub use tcplite::{TcpFailure, TcpFetch, TcpFetchOutcome, TcpHttpServer};
 pub use time::{SimDuration, SimTime};
 pub use topo::{Asn, Coord, NodeId, NodeKind, Topology};

@@ -3,17 +3,31 @@
 
 Usage:
     vitals_check.py <metrics.json> <host-profile.txt> <baseline.json> <fault-profile>
+    vitals_check.py --bench <fresh-bench.json> <baseline.json> <trajectory.json...>
 
-Two gates, one per observability plane:
+Smoke-run mode has two gates, one per observability plane:
 
-1. Sim plane (`metrics.json`): the key campaign counters must be nonzero —
-   a campaign that ran but counted nothing means the harvest wiring broke.
-   Under the `cellular` fault profile the chaos layer must also have
-   injected faults.
+1. Sim plane (`metrics.json`): the baseline's required counters must be
+   nonzero — a campaign that ran but counted nothing means the harvest
+   wiring broke. Under the `cellular` fault profile the chaos layer must
+   also have injected faults. The counter lists live in the baseline JSON
+   (`required_counters` / `required_counters_cellular`) so adding an
+   instrument is a data change, not a script edit.
 2. Host plane (captured stderr profile): the campaign stage's events/sec
-   throughput must not regress more than 30% below the low edge of the
-   checked-in baseline band. The band's low edge is set conservatively for
-   shared CI runners; the 30% grace absorbs runner-to-runner noise on top.
+   throughput must not regress more than the configured tolerance below
+   the low edge of the checked-in baseline band. The band's low edge is
+   set conservatively for shared CI runners; the tolerance absorbs
+   runner-to-runner noise on top.
+
+Bench mode gates a fresh `queue_bench` run against the recorded
+`BENCH_*.json` trajectory:
+
+1. Absolute floor: the wheel's fresh events/s must clear the same
+   conservative band low edge the smoke run uses.
+2. Relative trajectory: the fresh wheel-over-heap speedup (both sides
+   measured on the same machine in the same run, so runner speed cancels)
+   must not fall more than the tolerance below the latest recorded
+   baseline's speedup.
 
 Stdlib only — the repo vendors all Rust deps and installs nothing in CI.
 """
@@ -21,6 +35,9 @@ Stdlib only — the repo vendors all Rust deps and installs nothing in CI.
 import json
 import re
 import sys
+
+DEFAULT_REQUIRED = ["campaign.experiments", "campaign.lookups", "dns.cache.hits"]
+DEFAULT_REQUIRED_CELLULAR = ["fault.injected"]
 
 
 def counter_total(metrics, name):
@@ -36,11 +53,8 @@ def parse_events_per_sec(profile_text):
     return float(m.group(1)) * {"": 1.0, "k": 1e3, "M": 1e6}[m.group(2)]
 
 
-def main():
-    if len(sys.argv) != 5:
-        print(__doc__, file=sys.stderr)
-        return 2
-    metrics_path, profile_path, baseline_path, fault_profile = sys.argv[1:]
+def check_smoke(argv):
+    metrics_path, profile_path, baseline_path, fault_profile = argv
     with open(metrics_path) as f:
         metrics = json.load(f)
     with open(profile_path) as f:
@@ -50,9 +64,9 @@ def main():
 
     failures = []
 
-    required = ["campaign.experiments", "campaign.lookups", "dns.cache.hits"]
+    required = list(baseline.get("required_counters", DEFAULT_REQUIRED))
     if fault_profile == "cellular":
-        required.append("fault.injected")
+        required += baseline.get("required_counters_cellular", DEFAULT_REQUIRED_CELLULAR)
     for name in required:
         total = counter_total(metrics, name)
         print(f"vitals: {name} = {total}")
@@ -71,6 +85,69 @@ def main():
             failures.append(
                 f"events/sec regressed: {rate:.0f} < {floor:.0f} "
                 f"(>{baseline['regression_tolerance']:.0%} below baseline low)")
+    return failures
+
+
+def bench_ord(path):
+    """Orders trajectory files by the PR number in `BENCH_<n>.json`."""
+    m = re.search(r"BENCH_(\d+)", path)
+    return int(m.group(1)) if m else -1
+
+
+def check_bench(argv):
+    fresh_path, baseline_path = argv[0], argv[1]
+    trajectory_paths = sorted(argv[2:], key=bench_ord)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+    tolerance = baseline["regression_tolerance"]
+
+    for path in trajectory_paths:
+        with open(path) as f:
+            rec = json.load(f)
+        print(f"vitals: trajectory {path}: wheel {rec['wheel']['events_per_sec']:.0f} events/s, "
+              f"speedup {rec['wheel_speedup_over_heap']:.3f}x "
+              f"(seed {rec['seed']}, quick={rec['quick']})")
+
+    wheel_rate = fresh["wheel"]["events_per_sec"]
+    low = baseline["events_per_sec"]["low"]
+    floor = low * (1.0 - tolerance)
+    print(f"vitals: fresh wheel throughput = {wheel_rate:.0f} events/s "
+          f"(baseline low {low:.0f}, failure floor {floor:.0f})")
+    if wheel_rate < floor:
+        failures.append(
+            f"bench wheel events/sec regressed: {wheel_rate:.0f} < {floor:.0f} "
+            f"(>{tolerance:.0%} below baseline low)")
+
+    if trajectory_paths:
+        with open(trajectory_paths[-1]) as f:
+            latest = json.load(f)
+        recorded = latest["wheel_speedup_over_heap"]
+        fresh_speedup = fresh["wheel_speedup_over_heap"]
+        speedup_floor = recorded * (1.0 - tolerance)
+        print(f"vitals: fresh wheel speedup = {fresh_speedup:.3f}x "
+              f"(latest recorded {recorded:.3f}x, failure floor {speedup_floor:.3f}x)")
+        if fresh_speedup < speedup_floor:
+            failures.append(
+                f"wheel-over-heap speedup regressed: {fresh_speedup:.3f}x < "
+                f"{speedup_floor:.3f}x (latest trajectory {recorded:.3f}x)")
+    else:
+        failures.append("no BENCH_*.json trajectory files given")
+    return failures
+
+
+def main():
+    argv = sys.argv[1:]
+    if len(argv) >= 3 and argv[0] == "--bench":
+        failures = check_bench(argv[1:])
+    elif len(argv) == 4:
+        failures = check_smoke(argv)
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
 
     if failures:
         for f in failures:

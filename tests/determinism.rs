@@ -7,7 +7,7 @@
 
 use behind_the_curtain::measure::{
     build_world, run_campaign_observed, run_campaign_with, CampaignConfig, CampaignRun, Dataset,
-    FaultProfile, Outcome, Parallelism,
+    FaultProfile, Outcome, Parallelism, QueueKind,
 };
 use behind_the_curtain::measure::{ExperimentSpec, WorldConfig};
 use behind_the_curtain::obs::sha256_hex;
@@ -233,6 +233,88 @@ fn cellular_fault_profile_produces_a_failure_taxonomy() {
             outcome.label()
         );
     }
+}
+
+fn campaign_run_with_queue(
+    seed: u64,
+    par: Parallelism,
+    profile: FaultProfile,
+    queue: QueueKind,
+) -> CampaignRun {
+    let mut world = build_world(WorldConfig {
+        fault_profile: profile,
+        queue,
+        ..WorldConfig::quick(seed)
+    });
+    run_campaign_observed(&mut world, &quick_campaign_config(), par, None)
+}
+
+#[test]
+fn heap_and_wheel_queues_export_byte_identical_outputs() {
+    // The tentpole contract: swapping the engine's event queue between the
+    // reference binary heap and the timing wheel must not move a single
+    // byte of any exported table or of metrics.json — under every thread
+    // count and with the chaos layer both off and on. (The default-config
+    // path runs the wheel; the thread-sweep tests above already pin wheel
+    // runs against each other, so one wheel reference per profile here
+    // closes the heap side transitively.)
+    for profile in [FaultProfile::None, FaultProfile::Cellular] {
+        let wheel =
+            campaign_run_with_queue(20141105, Parallelism::Threads(1), profile, QueueKind::Wheel);
+        let wheel_csv = csv_bytes(&wheel.dataset);
+        let wheel_sha = sha256_hex(wheel.metrics.to_json().as_bytes());
+        for threads in [1, 4, 6] {
+            let heap = campaign_run_with_queue(
+                20141105,
+                Parallelism::Threads(threads),
+                profile,
+                QueueKind::Heap,
+            );
+            assert_eq!(
+                wheel_csv,
+                csv_bytes(&heap.dataset),
+                "{profile:?}/{threads} threads: heap and wheel queues diverged on CSV bytes"
+            );
+            assert_eq!(
+                wheel_sha,
+                sha256_hex(heap.metrics.to_json().as_bytes()),
+                "{profile:?}/{threads} threads: heap and wheel queues diverged on metrics.json"
+            );
+        }
+    }
+}
+
+#[test]
+fn completed_flow_backlog_stays_bounded_over_the_campaign() {
+    // The engine's completed-outcome map once grew without bound: every
+    // fire-and-forget probe parked an outcome nobody would ever poll. The
+    // campaign driver now reaps stale outcomes each device slot; the
+    // sampled high-water mark must stay at a per-slot scale, not scale
+    // with campaign length.
+    let run = observed_with_profile(20141105, Parallelism::Threads(6), FaultProfile::Cellular);
+    // The gauge must be present (instrumentation alive) …
+    assert!(
+        run.metrics.to_json().contains("campaign.completed_backlog"),
+        "backlog gauge never exported — drain instrumentation dead"
+    );
+    // … and its high-water mark must stay at per-slot scale: the campaign
+    // drivers poll every flow they issue, so anything campaign-scale here
+    // means outcomes are leaking past the per-slot reap again.
+    let peak = run.metrics.gauge_peak("campaign.completed_backlog");
+    assert!(
+        peak <= 16,
+        "completed-flow backlog high water {peak} exceeds per-slot scale; \
+         the per-slot drain is not running"
+    );
+    // Timeout bookkeeping from the same run: most flows complete early and
+    // cancel their timeout; fired timeouts are the exception.
+    let cancelled = run.metrics.counter_total("net.flow_timeouts_cancelled");
+    let fired = run.metrics.counter_total("net.flow_timeouts");
+    assert!(cancelled > 0, "no timeouts were ever cancelled");
+    assert!(
+        cancelled > fired,
+        "cancelled ({cancelled}) should dominate fired ({fired}) timeouts"
+    );
 }
 
 #[test]
