@@ -131,8 +131,8 @@ impl Cdf {
             return None;
         }
         medians.sort_by(f64::total_cmp);
-        let lo = medians[(medians.len() as f64 * 0.025) as usize];
-        let hi = medians[((medians.len() as f64 * 0.975) as usize).min(medians.len() - 1)];
+        let lo = medians[(medians.len() as f64 * 0.025).floor() as usize];
+        let hi = medians[((medians.len() as f64 * 0.975).floor() as usize).min(medians.len() - 1)];
         Some((lo, hi))
     }
 

@@ -171,7 +171,7 @@ impl Cdn {
             .iter()
             .map(|r| (r.coord.distance_km(&loc), r.addr))
             .collect();
-        by_dist.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        by_dist.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         by_dist
             .into_iter()
             .take(self.config.top_k.max(1))

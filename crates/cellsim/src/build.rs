@@ -65,7 +65,7 @@ impl GeoRegion {
 
     /// Deterministic grid placement of `i` out of `n` points, with jitter.
     pub fn spot(&self, i: usize, n: usize, rng: &mut StdRng) -> Coord {
-        let cols = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let cols = (n as f64).sqrt().ceil().max(1.0).floor() as usize;
         let rows = n.div_ceil(cols);
         let col = i % cols;
         let row = i / cols;
@@ -137,11 +137,7 @@ impl CarrierNet {
         }
         self.forwarder_nodes
             .iter()
-            .min_by(|a, b| {
-                a.2.distance_km(&at)
-                    .partial_cmp(&b.2.distance_km(&at))
-                    .expect("finite distances")
-            })
+            .min_by(|a, b| a.2.distance_km(&at).total_cmp(&b.2.distance_km(&at)))
             .map(|&(_, addr, _)| addr)
             .expect("nonempty checked")
     }
@@ -154,8 +150,7 @@ impl CarrierNet {
             .min_by(|(_, a), (_, b)| {
                 a.coord
                     .distance_km(&coord)
-                    .partial_cmp(&b.coord.distance_km(&coord))
-                    .expect("finite distances")
+                    .total_cmp(&b.coord.distance_km(&coord))
             })
             .map(|(i, _)| i)
             .expect("carrier has sites")
@@ -272,7 +267,7 @@ pub fn build_carrier(
             .iter()
             .map(|(n, c)| (*n, c.distance_km(&coord)))
             .collect();
-        pops.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        pops.sort_by(|a, b| a.1.total_cmp(&b.1));
         let roll: f64 = rng.gen();
         let pick = if roll < 0.6 || pops.len() == 1 {
             0

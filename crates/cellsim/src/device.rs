@@ -133,7 +133,8 @@ impl Device {
         let mean_us = carrier.profile.ip_reassign_mean.as_micros().max(1);
         // Exponential inter-arrival around the profile mean.
         let jitter: f64 = -rng.gen_range(1e-9_f64..1.0).ln();
-        self.next_ip_change = now + SimDuration::from_micros((mean_us as f64 * jitter) as u64);
+        self.next_ip_change =
+            now + SimDuration::from_micros((mean_us as f64 * jitter).floor() as u64);
     }
 
     /// Re-homes the bearer onto `new_site` and establishes a fresh PDP

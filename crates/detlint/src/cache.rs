@@ -1,0 +1,467 @@
+//! Incremental scan cache: per-file content hash → extracted facts and
+//! raw local findings, stored under `target/detlint/`.
+//!
+//! The cache makes the workspace pass sub-second on warm runs: unchanged
+//! files skip the lex/item-tree/local-rule stages entirely, and only the
+//! global passes (call graph, D8/D9/D12, suppression accounting) re-run —
+//! those always operate on the full fact set, so cross-file results stay
+//! correct even when a single file changes. The format is a versioned,
+//! line-oriented record stream written atomically (temp file + rename); a
+//! version bump or any parse error invalidates the whole cache, which is
+//! always safe because the cache is a pure accelerator.
+
+use crate::lex::AllowMarker;
+use crate::model::{CallKind, CallSite, FileFacts, FnInfo, MetricSite, RngSite, SeedArg, Sink};
+use crate::{FileRecord, Finding, Rule};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Bump when the record format or rule semantics change.
+const VERSION: &str = "detlint-cache 2";
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Loaded cache: path → (content hash, cached record).
+#[derive(Default)]
+pub(crate) struct Cache {
+    pub entries: BTreeMap<String, (u64, FileRecord)>,
+}
+
+fn cache_path(root: &Path) -> std::path::PathBuf {
+    root.join("target").join("detlint").join("cache.tsv")
+}
+
+fn esc(s: &str) -> String {
+    if s.is_empty() {
+        return "\\e".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    if s == "\\e" {
+        return String::new();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn rule_id(rule: Rule) -> &'static str {
+    rule.id()
+}
+
+fn rule_from(s: &str) -> Option<Rule> {
+    if s == "marker" {
+        return Some(Rule::Marker);
+    }
+    Rule::from_id(s)
+}
+
+/// Serializes one record under its content hash.
+pub(crate) fn encode(hash: u64, rec: &FileRecord) -> String {
+    let mut out = String::new();
+    let p = |out: &mut String, parts: &[&str]| {
+        out.push_str(&parts.join("\t"));
+        out.push('\n');
+    };
+    p(
+        &mut out,
+        &[
+            "F",
+            &esc(&rec.path),
+            &esc(&rec.crate_name),
+            &format!("{hash:016x}"),
+        ],
+    );
+    for f in &rec.raw {
+        p(
+            &mut out,
+            &[
+                "x",
+                &f.line.to_string(),
+                &f.col.to_string(),
+                rule_id(f.rule),
+                &esc(&f.message),
+                &esc(f.snippet.as_deref().unwrap_or("\u{0}")),
+            ],
+        );
+    }
+    for m in &rec.markers {
+        let rules: Vec<&str> = m.rules.iter().map(|r| r.id()).collect();
+        p(
+            &mut out,
+            &[
+                "m",
+                &m.line.to_string(),
+                &m.col.to_string(),
+                &m.target.to_string(),
+                &rules.join(","),
+            ],
+        );
+    }
+    for &line in &rec.facts.lane_mods {
+        p(&mut out, &["L", &line.to_string()]);
+    }
+    for site in &rec.facts.metric_sites {
+        p(
+            &mut out,
+            &[
+                "M",
+                site.mutator,
+                &site.line.to_string(),
+                &site.col.to_string(),
+                &esc(site.name.as_deref().unwrap_or("\u{0}")),
+            ],
+        );
+    }
+    for f in &rec.facts.fns {
+        let flags = format!(
+            "{}{}{}",
+            if f.is_pub { 'p' } else { '-' },
+            if f.is_test { 't' } else { '-' },
+            if f.is_hot { 'h' } else { '-' },
+        );
+        p(
+            &mut out,
+            &[
+                "f",
+                &f.line.to_string(),
+                &f.col.to_string(),
+                &f.body.0.to_string(),
+                &f.body.1.to_string(),
+                &flags,
+                &esc(&f.name),
+                &esc(f.impl_type.as_deref().unwrap_or("\u{0}")),
+                &esc(&f.module),
+            ],
+        );
+        for param in &f.params {
+            let fl = if f.float_params.contains(param) {
+                "1"
+            } else {
+                "0"
+            };
+            p(&mut out, &["p", &esc(param), fl]);
+        }
+        for c in &f.calls {
+            let kind = match c.kind {
+                CallKind::Method => "M",
+                CallKind::Path => "P",
+                CallKind::Bare => "B",
+            };
+            p(
+                &mut out,
+                &[
+                    "c",
+                    kind,
+                    &c.line.to_string(),
+                    &c.col.to_string(),
+                    &esc(&c.name),
+                    &esc(c.recv.as_deref().unwrap_or("\u{0}")),
+                    &esc(&c.args),
+                ],
+            );
+        }
+        for s in &f.sinks {
+            p(
+                &mut out,
+                &["s", s.what, &s.line.to_string(), &s.col.to_string()],
+            );
+        }
+        for r in &f.rng_sites {
+            let (kind, text) = match &r.arg {
+                SeedArg::Lane => ("L", String::new()),
+                SeedArg::Param(t) => ("P", t.clone()),
+                SeedArg::Opaque(t) => ("O", t.clone()),
+            };
+            p(
+                &mut out,
+                &[
+                    "r",
+                    r.ctor,
+                    &r.line.to_string(),
+                    &r.col.to_string(),
+                    kind,
+                    &esc(&text),
+                ],
+            );
+        }
+    }
+    out
+}
+
+/// `None` marker text used where an `Option<String>` field is absent;
+/// distinguishes "no value" from "empty string".
+fn opt(s: String) -> Option<String> {
+    (s != "\u{0}").then_some(s)
+}
+
+/// Loads the cache; parse problems yield an empty cache (a cold rescan).
+pub(crate) fn load(root: &Path) -> Cache {
+    let Ok(text) = std::fs::read_to_string(cache_path(root)) else {
+        return Cache::default();
+    };
+    parse(&text).unwrap_or_default()
+}
+
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != VERSION {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(u64, FileRecord)> = None;
+    for line in lines {
+        let parts: Vec<&str> = line.split('\t').collect();
+        match *parts.first()? {
+            "F" => {
+                if let Some((h, rec)) = cur.take() {
+                    cache.entries.insert(rec.path.clone(), (h, rec));
+                }
+                let hash = u64::from_str_radix(parts.get(3)?, 16).ok()?;
+                cur = Some((
+                    hash,
+                    FileRecord {
+                        path: unesc(parts.get(1)?),
+                        crate_name: unesc(parts.get(2)?),
+                        raw: Vec::new(),
+                        facts: FileFacts::default(),
+                        markers: Vec::new(),
+                    },
+                ));
+            }
+            "x" => {
+                let rec = &mut cur.as_mut()?.1;
+                rec.raw.push(Finding {
+                    file: rec.path.clone(),
+                    line: parts.get(1)?.parse().ok()?,
+                    col: parts.get(2)?.parse().ok()?,
+                    rule: rule_from(parts.get(3)?)?,
+                    message: unesc(parts.get(4)?),
+                    snippet: opt(unesc(parts.get(5)?)),
+                });
+            }
+            "m" => {
+                let rec = &mut cur.as_mut()?.1;
+                let rules = parts
+                    .get(4)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(rule_from)
+                    .collect::<Option<Vec<_>>>()?;
+                rec.markers.push(AllowMarker {
+                    line: parts.get(1)?.parse().ok()?,
+                    col: parts.get(2)?.parse().ok()?,
+                    target: parts.get(3)?.parse().ok()?,
+                    rules,
+                });
+            }
+            "L" => {
+                cur.as_mut()?
+                    .1
+                    .facts
+                    .lane_mods
+                    .push(parts.get(1)?.parse().ok()?);
+            }
+            "M" => {
+                let mutator = match *parts.get(1)? {
+                    "inc" => "inc",
+                    "inc_by" => "inc_by",
+                    "gauge_set" => "gauge_set",
+                    "observe_us" => "observe_us",
+                    _ => return None,
+                };
+                cur.as_mut()?.1.facts.metric_sites.push(MetricSite {
+                    mutator,
+                    name: opt(unesc(parts.get(4)?)),
+                    line: parts.get(2)?.parse().ok()?,
+                    col: parts.get(3)?.parse().ok()?,
+                });
+            }
+            "f" => {
+                let flags = parts.get(5)?;
+                cur.as_mut()?.1.facts.fns.push(FnInfo {
+                    name: unesc(parts.get(6)?),
+                    impl_type: opt(unesc(parts.get(7)?)),
+                    module: unesc(parts.get(8)?),
+                    line: parts.get(1)?.parse().ok()?,
+                    col: parts.get(2)?.parse().ok()?,
+                    body: (parts.get(3)?.parse().ok()?, parts.get(4)?.parse().ok()?),
+                    is_pub: flags.contains('p'),
+                    is_test: flags.contains('t'),
+                    is_hot: flags.contains('h'),
+                    params: Vec::new(),
+                    float_params: Vec::new(),
+                    calls: Vec::new(),
+                    sinks: Vec::new(),
+                    rng_sites: Vec::new(),
+                });
+            }
+            "p" => {
+                let f = cur.as_mut()?.1.facts.fns.last_mut()?;
+                let name = unesc(parts.get(1)?);
+                if *parts.get(2)? == "1" {
+                    f.float_params.push(name.clone());
+                }
+                f.params.push(name);
+            }
+            "c" => {
+                let f = cur.as_mut()?.1.facts.fns.last_mut()?;
+                f.calls.push(CallSite {
+                    kind: match *parts.get(1)? {
+                        "M" => CallKind::Method,
+                        "P" => CallKind::Path,
+                        "B" => CallKind::Bare,
+                        _ => return None,
+                    },
+                    line: parts.get(2)?.parse().ok()?,
+                    col: parts.get(3)?.parse().ok()?,
+                    name: unesc(parts.get(4)?),
+                    recv: opt(unesc(parts.get(5)?)),
+                    args: unesc(parts.get(6)?),
+                });
+            }
+            "s" => {
+                let f = cur.as_mut()?.1.facts.fns.last_mut()?;
+                let what = match *parts.get(1)? {
+                    "unwrap()" => "unwrap()",
+                    "expect()" => "expect()",
+                    "panic!" => "panic!",
+                    "unreachable!" => "unreachable!",
+                    _ => return None,
+                };
+                f.sinks.push(Sink {
+                    what,
+                    line: parts.get(2)?.parse().ok()?,
+                    col: parts.get(3)?.parse().ok()?,
+                });
+            }
+            "r" => {
+                let f = cur.as_mut()?.1.facts.fns.last_mut()?;
+                let ctor = match *parts.get(1)? {
+                    "seed_from_u64" => "seed_from_u64",
+                    "from_seed" => "from_seed",
+                    _ => return None,
+                };
+                let text = unesc(parts.get(5)?);
+                f.rng_sites.push(RngSite {
+                    ctor,
+                    line: parts.get(2)?.parse().ok()?,
+                    col: parts.get(3)?.parse().ok()?,
+                    arg: match *parts.get(4)? {
+                        "L" => SeedArg::Lane,
+                        "P" => SeedArg::Param(text),
+                        "O" => SeedArg::Opaque(text),
+                        _ => return None,
+                    },
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some((h, rec)) = cur.take() {
+        cache.entries.insert(rec.path.clone(), (h, rec));
+    }
+    Some(cache)
+}
+
+/// Writes the cache atomically; errors are swallowed (the cache is only
+/// an accelerator and the scan result is already computed).
+pub(crate) fn store(root: &Path, records: &[(u64, &FileRecord)]) {
+    let path = cache_path(root);
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut out = String::from(VERSION);
+    out.push('\n');
+    for (hash, rec) in records {
+        out.push_str(&encode(*hash, rec));
+    }
+    let tmp = path.with_extension("tmp");
+    let write = std::fs::File::create(&tmp).and_then(|mut f| f.write_all(out.as_bytes()));
+    if write.is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_record() {
+        let src = "\
+// detlint: hot
+fn f(seed: u64, jitter: f64) {
+    let r = StdRng::seed_from_u64(seed);
+    helper(seed).unwrap();
+    reg.inc(\"a.b\", &[]);
+}
+// detlint: allow(D2) -- fixture reason
+fn g() { let t = 1; }
+";
+        let sf = crate::lex::prepare(src);
+        let facts = crate::model::extract(&sf);
+        let ctx = crate::FileCtx::new("netsim", false);
+        let raw = crate::rules::local_findings("crates/netsim/src/x.rs", &sf, &facts, &ctx);
+        let rec = FileRecord {
+            path: "crates/netsim/src/x.rs".into(),
+            crate_name: "netsim".into(),
+            raw,
+            facts,
+            markers: sf.markers.clone(),
+        };
+        let hash = fnv1a(src.as_bytes());
+        let text = format!("{VERSION}\n{}", encode(hash, &rec));
+        let cache = parse(&text).expect("cache parses");
+        let (h, back) = &cache.entries["crates/netsim/src/x.rs"];
+        assert_eq!(*h, hash);
+        assert_eq!(back.crate_name, "netsim");
+        assert_eq!(back.raw.len(), rec.raw.len());
+        assert_eq!(back.facts.fns.len(), rec.facts.fns.len());
+        assert_eq!(back.facts.fns[0].params, rec.facts.fns[0].params);
+        assert_eq!(back.facts.fns[0].calls.len(), rec.facts.fns[0].calls.len());
+        assert_eq!(back.facts.fns[0].sinks.len(), rec.facts.fns[0].sinks.len());
+        assert_eq!(back.markers.len(), rec.markers.len());
+        assert_eq!(back.facts.metric_sites[0].name.as_deref(), Some("a.b"));
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        assert!(parse("detlint-cache 1\n").is_none());
+    }
+}

@@ -1,19 +1,21 @@
 //! `detlint`: a workspace determinism-and-safety lint pass.
 //!
-//! The campaign's headline guarantee is *byte-identical CSVs for every
-//! thread count and seed lane* (DESIGN.md §4). That invariant is easy to
-//! break silently: one `for` loop over a `HashMap`, one `Instant::now()`,
-//! one `thread_rng()` in a simulation path and replays diverge while every
-//! unit test stays green. `detlint` makes those hazards a compile gate
-//! instead of a hope, with a hand-rolled line/token scanner — no syn, no
-//! registry dependencies, in the spirit of the vendored stubs.
+//! The campaign's headline guarantee is *byte-identical CSVs and metrics
+//! for every thread count, seed, and queue implementation* (DESIGN.md §4,
+//! §8). That invariant is easy to break silently: one `for` loop over a
+//! `HashMap`, one `Instant::now()`, one `thread_rng()` in a simulation
+//! path and replays diverge while every unit test stays green. `detlint`
+//! makes those hazards a compile gate instead of a hope — zero deps, no
+//! syn, in the spirit of the vendored stubs.
 //!
-//! Rules (see DESIGN.md §5 for the full policy):
+//! Since v2 the scanner is a real pipeline (DESIGN.md §9): a spanned,
+//! length-preserving lexer ([`lex`], line *and* column), an item tree with
+//! per-function facts ([`model`]), and a heuristic intra-workspace call
+//! graph feeding flow-aware passes. Rules:
 //!
 //! - **D1** — no iteration-order escape from hash collections (`for … in`,
-//!   `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`, …) in
-//!   the simulation/analysis crates. Use `BTreeMap`/`BTreeSet`, or sort
-//!   before iterating and carry an allow-marker saying why it is safe.
+//!   `.iter()`, `.keys()`, `.drain()`, …) in the simulation/analysis
+//!   crates. Use `BTreeMap`/`BTreeSet`, or sort before iterating.
 //! - **D2** — no wall clock (`Instant::now`, `SystemTime::now`) in
 //!   simulation crates; only the simulated clock may drive behaviour.
 //! - **D3** — no ambient randomness (`thread_rng`, `from_entropy`,
@@ -21,29 +23,50 @@
 //! - **D4** — no `unwrap()`/`expect()`/`panic!` in non-test library code of
 //!   the hot-path crates (`netsim`, `dnssim`, `measure`) without a marker.
 //! - **D5** — every crate root carries `#![forbid(unsafe_code)]`.
-//! - **D6** — no `let _ =` discarding an experiment result (`resolve`,
-//!   `resolve_with`, `whoami`, `run_experiment`) in `measure`/`analysis`:
-//!   every lookup carries a typed failure `Outcome` that must reach the
-//!   records, not the floor.
-//! - **D7** — the observability planes stay separated: host-plane
-//!   (wall-clock) profiling via `obs::host` is an error outside the driver
-//!   binaries (`repro`, `bench`), and sim-plane registry mutators must be
-//!   called with a `&'static str` literal metric name (a dynamic name
-//!   would make the exported key space input-dependent).
+//! - **D6** — no `let _ =` discarding an experiment result's typed
+//!   `Outcome` in `measure`/`analysis`.
+//! - **D7** — the observability planes stay separated: `obs::host` only in
+//!   the driver binaries, and sim-plane metric names must be literals.
+//! - **D8** — seed-lane provenance: every `seed_from_u64`/`from_seed` in a
+//!   sim crate must flow from a `lane::*` constant, directly or through a
+//!   seed parameter whose callers pass lane-derived values; new lanes may
+//!   only be declared in `measure`'s `lane` module.
+//! - **D9** — transitive panic reachability: functions annotated
+//!   `// detlint: hot` must not reach `unwrap`/`expect`/`panic!`/
+//!   `unreachable!` through the call graph; the diagnostic names the
+//!   shortest offending chain and is suppressible only at the sink.
+//! - **D10** — no allocation (`Vec::new`, `to_vec`, `clone`, `format!`,
+//!   `String::from`, `Box::new`) inside `// detlint: hot` functions.
+//! - **D11** — float-order hazards: `partial_cmp` comparators in sorts,
+//!   float-keyed ordered collections, bare float→int `as` casts.
+//! - **D12** — metric cross-check: every sim-plane metric name must appear
+//!   in `ci/vitals-baseline.json` or `KNOWN_METRICS` in
+//!   `scripts/vitals_check.py`, and every declared name must be emitted.
 //!
 //! Suppression is explicit and audited: an inline
 //! `// detlint: allow(D1) -- <reason>` marker on the offending line (or
 //! alone on the line above) suppresses the named rule *only when a written
-//! reason follows the `--`*. A marker without a reason is itself an error.
+//! reason follows the `--`*. A marker without a reason is an error, and —
+//! new in v2 — a marker that suppresses nothing is an error too, so stale
+//! justifications cannot outlive the code they excused.
 
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeSet;
+mod cache;
+pub mod lex;
+pub mod model;
+pub mod report;
+mod rules;
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Crates whose behaviour feeds the simulation or its analysis: D1–D3
-/// apply here. Names are the directory names under `crates/`.
+pub use rules::{load_metric_decls, MetricDecls};
+
+/// Crates whose behaviour feeds the simulation or its analysis: D1–D3,
+/// D7b, D8, D11, D12 apply here. Names are the directory names under
+/// `crates/`.
 pub const SIM_CRATES: &[&str] = &[
     "netsim", "dnswire", "dnssim", "cellsim", "cdnsim", "measure", "analysis", "core", "obs",
 ];
@@ -53,39 +76,13 @@ pub const SIM_CRATES: &[&str] = &[
 /// else onto the deterministic sim plane.
 pub const HOST_PLANE_CRATES: &[&str] = &["repro", "bench", "obs"];
 
-/// Sim-plane registry mutators whose first argument is the metric name and
-/// must be a `&'static str` literal at the call site (D7).
-const OBS_MUTATORS: &[&str] = &[".inc(", ".inc_by(", ".gauge_set(", ".observe_us("];
-
-/// Hot-path crates where D4 (panic-freedom of library code) applies.
+/// Hot-path crates where D4 (panic-freedom of library code) applies. In
+/// these crates an audited `allow(D4)` marker also discharges D9 at the
+/// same sink — one audit, not two.
 pub const HOT_CRATES: &[&str] = &["netsim", "dnssim", "measure"];
 
-/// Crates where D6 (no discarded experiment outcomes) applies: the layers
-/// that produce and consume the failure taxonomy.
+/// Crates where D6 (no discarded experiment outcomes) applies.
 pub const OUTCOME_CRATES: &[&str] = &["measure", "analysis"];
-
-/// Calls whose return value carries a typed lookup [`Outcome`] and must not
-/// be dropped with `let _ =`.
-const D6_CALLS: &[&str] = &[
-    "resolve(",
-    "resolve_with(",
-    "whoami(",
-    "whoami_with(",
-    "run_experiment",
-];
-
-/// Methods whose receiver's iteration order escapes into program behaviour.
-const D1_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-];
 
 /// A lint rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -105,7 +102,17 @@ pub enum Rule {
     /// Observability-plane breach: host-plane APIs outside the drivers, or
     /// a dynamic sim-plane metric name.
     D7,
-    /// Malformed allow-marker (a marker is itself subject to lint).
+    /// RNG seed that does not flow from a `lane::*` constant.
+    D8,
+    /// Hot entry point that transitively reaches a panic sink.
+    D9,
+    /// Allocation inside a `// detlint: hot` function.
+    D10,
+    /// Float-order hazard.
+    D11,
+    /// Metric name missing from the baseline/allowlist, or dead there.
+    D12,
+    /// Malformed or unused allow-marker (markers are themselves linted).
     Marker,
 }
 
@@ -120,20 +127,30 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::D8 => "D8",
+            Rule::D9 => "D9",
+            Rule::D10 => "D10",
+            Rule::D11 => "D11",
+            Rule::D12 => "D12",
             Rule::Marker => "marker",
         }
     }
 
     /// Parses a rule name as written inside `allow(...)`.
     pub fn from_id(s: &str) -> Option<Rule> {
-        match s.trim() {
-            "D1" | "d1" => Some(Rule::D1),
-            "D2" | "d2" => Some(Rule::D2),
-            "D3" | "d3" => Some(Rule::D3),
-            "D4" | "d4" => Some(Rule::D4),
-            "D5" | "d5" => Some(Rule::D5),
-            "D6" | "d6" => Some(Rule::D6),
-            "D7" | "d7" => Some(Rule::D7),
+        match s.trim().to_ascii_uppercase().as_str() {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
+            "D6" => Some(Rule::D6),
+            "D7" => Some(Rule::D7),
+            "D8" => Some(Rule::D8),
+            "D9" => Some(Rule::D9),
+            "D10" => Some(Rule::D10),
+            "D11" => Some(Rule::D11),
+            "D12" => Some(Rule::D12),
             _ => None,
         }
     }
@@ -152,18 +169,22 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column number (byte offset in the line).
+    pub col: usize,
     /// The rule that fired.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// The offending raw source line, for the text code frame.
+    pub snippet: Option<String>,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: rule[{}]: {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: rule[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -199,608 +220,172 @@ impl FileCtx {
     }
 }
 
-/// Splits one source line into its code part and its comment part (the
-/// text after a `//` that is not inside a string or char literal). The
-/// *contents* of string literals are blanked out in the code part, so a
-/// banned pattern inside a log message never fires. Block comments are
-/// handled by the caller.
-fn split_comment(line: &str) -> (String, Option<String>) {
-    let bytes = line.as_bytes();
-    let mut code = Vec::with_capacity(bytes.len());
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i];
-        if in_str {
-            match c {
-                b'\\' => {
-                    // The escape and the escaped byte are both blanked.
-                    code.push(b' ');
-                    if i + 1 < bytes.len() {
-                        code.push(b' ');
-                        i += 1;
-                    }
-                }
-                b'"' => {
-                    code.push(c);
-                    in_str = false;
-                }
-                _ => code.push(b' '),
-            }
+/// One scanned file's cached/cacheable state: raw (pre-suppression) local
+/// findings, extracted facts, and its allow-markers.
+#[derive(Debug)]
+pub struct FileRecord {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate directory name.
+    pub crate_name: String,
+    /// Local findings before suppression is applied.
+    pub raw: Vec<Finding>,
+    /// Item tree + flow facts.
+    pub facts: model::FileFacts,
+    /// Valid allow-markers whose target is non-test code.
+    pub markers: Vec<lex::AllowMarker>,
+}
+
+/// Builds a [`FileRecord`] by running the lex → item-tree → local-rule
+/// stages on one source file.
+fn build_record(path: &str, source: &str, ctx: &FileCtx) -> FileRecord {
+    let sf = lex::prepare(source);
+    let facts = model::extract(&sf);
+    let raw = rules::local_findings(path, &sf, &facts, ctx);
+    // Markers targeting test lines are irrelevant (no rule fires there)
+    // and would otherwise always read as unused.
+    let markers = sf
+        .markers
+        .iter()
+        .filter(|m| {
+            !sf.is_test
+                .get(m.target.saturating_sub(1))
+                .copied()
+                .unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+    FileRecord {
+        path: path.to_string(),
+        crate_name: ctx.crate_name.clone(),
+        raw,
+        facts,
+        markers,
+    }
+}
+
+/// Applies allow-marker suppression to raw local + global findings,
+/// tracks which markers actually suppressed something, and turns every
+/// unconsumed marker into a `rule[marker]` error.
+fn suppress_and_audit(records: &[FileRecord], global: Vec<Finding>) -> Vec<Finding> {
+    struct FileAllow {
+        /// target line → (rules allowed, marker indices targeting it).
+        by_line: BTreeMap<usize, (BTreeSet<Rule>, Vec<usize>)>,
+        consumed: Vec<bool>,
+        hot_crate: bool,
+    }
+    let mut allow: BTreeMap<&str, FileAllow> = BTreeMap::new();
+    for rec in records {
+        let mut by_line: BTreeMap<usize, (BTreeSet<Rule>, Vec<usize>)> = BTreeMap::new();
+        for (mi, m) in rec.markers.iter().enumerate() {
+            let entry = by_line.entry(m.target).or_default();
+            entry.0.extend(m.rules.iter().copied());
+            entry.1.push(mi);
+        }
+        allow.insert(
+            &rec.path,
+            FileAllow {
+                by_line,
+                consumed: vec![false; rec.markers.len()],
+                hot_crate: HOT_CRATES.contains(&rec.crate_name.as_str()),
+            },
+        );
+    }
+
+    let mut out = Vec::new();
+    let locals = records.iter().flat_map(|r| r.raw.iter().cloned());
+    for f in locals.chain(global) {
+        if f.rule == Rule::Marker {
+            out.push(f);
+            continue;
+        }
+        let Some(fa) = allow.get_mut(f.file.as_str()) else {
+            out.push(f);
+            continue;
+        };
+        let Some((rules, idxs)) = fa.by_line.get(&f.line) else {
+            out.push(f);
+            continue;
+        };
+        // An audited D4 marker in a hot crate also discharges D9 at the
+        // same sink: the panic there has already been justified once.
+        let effective = if rules.contains(&f.rule) {
+            Some(f.rule)
+        } else if f.rule == Rule::D9 && fa.hot_crate && rules.contains(&Rule::D4) {
+            Some(Rule::D4)
         } else {
-            match c {
-                b'"' => {
-                    code.push(c);
-                    in_str = true;
-                }
-                b'\'' => {
-                    // Char literal vs lifetime: a literal closes within a
-                    // few bytes ('x', '\n', '\u{..}'); a lifetime never
-                    // closes. Scan ahead conservatively and blank the body.
-                    let mut j = i + 1;
-                    if j < bytes.len() && bytes[j] == b'\\' {
-                        j += 2;
-                        while j < bytes.len() && bytes[j] != b'\'' {
-                            j += 1;
-                        }
-                        code.push(c);
-                        code.extend(std::iter::repeat_n(b' ', j.min(bytes.len()) - i - 1));
-                        if j < bytes.len() {
-                            code.push(b'\'');
-                        }
-                        i = j;
-                    } else if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
-                        code.extend([b'\'', b' ', b'\'']);
-                        i = j + 1;
-                    } else {
-                        // Lifetime: keep as-is.
-                        code.push(c);
+            None
+        };
+        match effective {
+            Some(via) => {
+                for &mi in idxs {
+                    if records
+                        .iter()
+                        .find(|r| r.path == f.file)
+                        .is_some_and(|r| r.markers[mi].rules.contains(&via))
+                    {
+                        fa.consumed[mi] = true;
                     }
                 }
-                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                    return (
-                        String::from_utf8_lossy(&code).into_owned(),
-                        Some(line[i + 2..].to_string()),
-                    );
-                }
-                _ => code.push(c),
             }
-        }
-        i += 1;
-    }
-    (String::from_utf8_lossy(&code).into_owned(), None)
-}
-
-/// The trailing identifier of `s`, if any (`self.entries` → `entries`).
-fn trailing_ident(s: &str) -> Option<&str> {
-    let s = s.trim_end();
-    let end = s.len();
-    let start = s
-        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .map(|i| i + c_len(s, i))
-        .unwrap_or(0);
-    if start >= end {
-        return None;
-    }
-    let ident = &s[start..end];
-    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        return None;
-    }
-    Some(ident)
-}
-
-fn c_len(s: &str, i: usize) -> usize {
-    s[i..].chars().next().map(char::len_utf8).unwrap_or(1)
-}
-
-/// If the text before a `HashMap`/`HashSet` occurrence binds the collection
-/// to a name (`entries: HashMap<…>`, `let mut m = HashMap::new()`), returns
-/// that name.
-fn bind_target(prefix: &str) -> Option<String> {
-    let p = prefix.trim_end();
-    let p = p.strip_suffix("std::collections::").unwrap_or(p);
-    let p = p.strip_suffix("collections::").unwrap_or(p);
-    let p = p.trim_end();
-    // Reference bindings (`name: &HashMap<…>`, `name: &mut HashMap<…>`)
-    // alias the collection just as well as owned ones.
-    let p = match p
-        .strip_suffix("mut")
-        .map(str::trim_end)
-        .and_then(|q| q.strip_suffix('&'))
-    {
-        Some(q) => q,
-        None => p.strip_suffix('&').unwrap_or(p),
-    };
-    let p = p.trim_end();
-    if let Some(before_colon) = p.strip_suffix(':') {
-        // A single type-ascription colon, not a `::` path.
-        if before_colon.ends_with(':') {
-            return None;
-        }
-        return trailing_ident(before_colon).map(str::to_string);
-    }
-    if let Some(before_eq) = p.strip_suffix('=') {
-        // Reject `==`, `>=`, `<=`, `!=`, `+=` and friends.
-        if before_eq.ends_with(['=', '>', '<', '!', '+', '-', '*', '/']) {
-            return None;
-        }
-        return trailing_ident(before_eq).map(str::to_string);
-    }
-    None
-}
-
-/// Collects every name bound to a hash collection in the file.
-fn hash_bound_names(code_lines: &[String]) -> BTreeSet<String> {
-    let mut names = BTreeSet::new();
-    for code in code_lines {
-        if code.trim_start().starts_with("use ") {
-            continue;
-        }
-        for needle in ["HashMap", "HashSet"] {
-            let mut from = 0;
-            while let Some(pos) = code[from..].find(needle) {
-                let at = from + pos;
-                // Must be a standalone token.
-                let after = code[at + needle.len()..].chars().next();
-                if after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
-                    from = at + needle.len();
-                    continue;
-                }
-                if let Some(name) = bind_target(&code[..at]) {
-                    names.insert(name);
-                }
-                from = at + needle.len();
-            }
-        }
-    }
-    names
-}
-
-/// Parses a `detlint: allow(<rules>) -- <reason>` marker out of a comment.
-/// The marker must be the comment's entire content (doc comments that
-/// merely *mention* markers mid-sentence are not markers). Returns
-/// `Err(message)` when the marker is malformed.
-fn parse_marker(comment: &str) -> Option<Result<Vec<Rule>, String>> {
-    let head = comment.trim_start_matches(['/', '!']).trim_start();
-    let rest = head.strip_prefix("detlint:")?.trim_start();
-    let Some(rest) = rest.strip_prefix("allow") else {
-        return Some(Err(
-            "detlint marker must be `allow(<rule>[, <rule>]) -- <reason>`".to_string(),
-        ));
-    };
-    let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix('(') else {
-        return Some(Err("detlint allow-marker is missing `(`".to_string()));
-    };
-    let Some(close) = rest.find(')') else {
-        return Some(Err("detlint allow-marker is missing `)`".to_string()));
-    };
-    let mut rules = Vec::new();
-    for part in rest[..close].split(',') {
-        match Rule::from_id(part) {
-            Some(r) => rules.push(r),
-            None => {
-                return Some(Err(format!(
-                    "unknown rule `{}` in allow-marker",
-                    part.trim()
-                )))
-            }
-        }
-    }
-    if rules.is_empty() {
-        return Some(Err("allow-marker names no rules".to_string()));
-    }
-    let tail = rest[close + 1..].trim_start();
-    let Some(reason) = tail.strip_prefix("--") else {
-        return Some(Err(
-            "allow-marker needs a written reason: `-- <why this is safe>`".to_string(),
-        ));
-    };
-    if reason.trim().is_empty() {
-        return Some(Err(
-            "allow-marker reason is empty; write why the suppression is sound".to_string(),
-        ));
-    }
-    Some(Ok(rules))
-}
-
-/// Per-line derived state for one scanned file.
-struct FileScan {
-    /// Code with comments stripped, per line.
-    code: Vec<String>,
-    /// Whether each line is inside `#[cfg(test)]` gated code.
-    is_test: Vec<bool>,
-    /// Rules suppressed on each line by a valid allow-marker.
-    allowed: Vec<BTreeSet<Rule>>,
-    /// Malformed-marker findings.
-    marker_findings: Vec<(usize, String)>,
-}
-
-fn prepare(source: &str) -> FileScan {
-    let raw: Vec<&str> = source.lines().collect();
-    let mut code = Vec::with_capacity(raw.len());
-    let mut comments: Vec<Option<String>> = Vec::with_capacity(raw.len());
-    let mut in_block = false;
-    for line in &raw {
-        if in_block {
-            if let Some(end) = line.find("*/") {
-                in_block = false;
-                let (c, m) = split_comment(&line[end + 2..]);
-                code.push(c);
-                comments.push(m);
-            } else {
-                code.push(String::new());
-                comments.push(None);
-            }
-            continue;
-        }
-        let (mut c, m) = split_comment(line);
-        // Strip any block comments opening (and possibly closing) here.
-        while let Some(start) = c.find("/*") {
-            if let Some(end) = c[start + 2..].find("*/") {
-                c = format!("{}{}", &c[..start], &c[start + 2 + end + 2..]);
-            } else {
-                c.truncate(start);
-                in_block = true;
-                break;
-            }
-        }
-        code.push(c);
-        comments.push(m);
-    }
-
-    // `#[cfg(test)]` regions: from the attribute through the close of the
-    // brace block it gates.
-    let mut is_test = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].contains("#[cfg(test)]") {
-            let mut depth: i32 = 0;
-            let mut opened = false;
-            let mut j = i;
-            while j < code.len() {
-                is_test[j] = true;
-                for ch in code[j].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
+            None => out.push(f),
         }
     }
 
-    // Allow-markers.
-    let mut allowed: Vec<BTreeSet<Rule>> = vec![BTreeSet::new(); code.len()];
-    let mut marker_findings = Vec::new();
-    for (i, comment) in comments.iter().enumerate() {
-        let Some(comment) = comment else { continue };
-        match parse_marker(comment) {
-            None => {}
-            Some(Err(msg)) => marker_findings.push((i + 1, msg)),
-            Some(Ok(rules)) => {
-                let standalone = code[i].trim().is_empty();
-                let target = if standalone {
-                    // The next line holding any code.
-                    (i + 1..code.len()).find(|&j| !code[j].trim().is_empty())
-                } else {
-                    Some(i)
-                };
-                if let Some(t) = target {
-                    allowed[t].extend(rules.iter().copied());
-                }
-            }
-        }
-    }
-
-    FileScan {
-        code,
-        is_test,
-        allowed,
-        marker_findings,
-    }
-}
-
-/// Scans one file's source. `file` is the label used in diagnostics.
-pub fn scan_file(file: &str, source: &str, ctx: &FileCtx) -> Vec<Finding> {
-    let scan = prepare(source);
-    let mut findings = Vec::new();
-
-    for (line, msg) in &scan.marker_findings {
-        findings.push(Finding {
-            file: file.to_string(),
-            line: *line,
-            rule: Rule::Marker,
-            message: msg.clone(),
-        });
-    }
-
-    // D5: crate roots must forbid unsafe code.
-    if ctx.is_crate_root
-        && !scan
-            .code
-            .iter()
-            .any(|c| c.contains("#![forbid(unsafe_code)]"))
-        && !scan.allowed.first().is_some_and(|a| a.contains(&Rule::D5))
-    {
-        findings.push(Finding {
-            file: file.to_string(),
-            line: 1,
-            rule: Rule::D5,
-            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
-        });
-    }
-
-    let hash_names = if ctx.sim() {
-        hash_bound_names(
-            &scan
-                .code
-                .iter()
-                .zip(&scan.is_test)
-                .filter(|(_, &t)| !t)
-                .map(|(c, _)| c.clone())
-                .collect::<Vec<_>>(),
-        )
-    } else {
-        BTreeSet::new()
-    };
-
-    for (i, code) in scan.code.iter().enumerate() {
-        if scan.is_test[i] {
-            continue;
-        }
-        let lineno = i + 1;
-        let allowed = &scan.allowed[i];
-        let push = |rule: Rule, message: String, findings: &mut Vec<Finding>| {
-            if !allowed.contains(&rule) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    rule,
-                    message,
+    for rec in records {
+        let fa = &allow[rec.path.as_str()];
+        for (mi, m) in rec.markers.iter().enumerate() {
+            if !fa.consumed[mi] {
+                let rules: Vec<&str> = m.rules.iter().map(|r| r.id()).collect();
+                out.push(Finding {
+                    file: rec.path.clone(),
+                    line: m.line,
+                    col: m.col,
+                    rule: Rule::Marker,
+                    message: format!(
+                        "allow({}) marker suppresses nothing (no {} finding on line {}); \
+                         remove the stale marker",
+                        rules.join(", "),
+                        rules.join("/"),
+                        m.target
+                    ),
+                    snippet: None,
                 });
             }
-        };
-
-        if ctx.sim() {
-            // D1a: iteration-order-escaping method on a hash-bound name. For
-            // chains broken across lines (`self\n  .entries\n  .iter()`), the
-            // receiver is the trailing identifier of the previous code line.
-            for m in D1_METHODS {
-                let needle = format!(".{m}(");
-                let mut from = 0;
-                while let Some(pos) = code[from..].find(&needle) {
-                    let at = from + pos;
-                    let recv = trailing_ident(&code[..at]).or_else(|| {
-                        if !code[..at].trim().is_empty() {
-                            return None;
-                        }
-                        (0..i)
-                            .rev()
-                            .map(|j| scan.code[j].as_str())
-                            .find(|c| !c.trim().is_empty())
-                            .and_then(trailing_ident)
-                    });
-                    if let Some(recv) = recv {
-                        if hash_names.contains(recv) {
-                            push(
-                                Rule::D1,
-                                format!(
-                                    "iteration order of hash collection `{recv}` escapes via \
-                                     `.{m}()`; use BTreeMap/BTreeSet or sort first"
-                                ),
-                                &mut findings,
-                            );
-                        }
-                    }
-                    from = at + needle.len();
-                }
-            }
-            // D1b: `for … in <hash-bound path>`.
-            if let Some(for_at) = find_for_keyword(code) {
-                if let Some(in_at) = code[for_at..].find(" in ") {
-                    let expr = code[for_at + in_at + 4..]
-                        .split('{')
-                        .next()
-                        .unwrap_or("")
-                        .trim()
-                        .trim_start_matches("&mut ")
-                        .trim_start_matches('&');
-                    if is_plain_path(expr) {
-                        if let Some(last) = expr.rsplit('.').next() {
-                            if hash_names.contains(last) {
-                                push(
-                                    Rule::D1,
-                                    format!(
-                                        "`for … in {expr}` iterates hash collection `{last}` in \
-                                         nondeterministic order; use BTreeMap/BTreeSet or sort \
-                                         first"
-                                    ),
-                                    &mut findings,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-            // D2: wall clock.
-            for pat in ["Instant::now", "SystemTime::now"] {
-                if code.contains(pat) {
-                    push(
-                        Rule::D2,
-                        format!("wall-clock read `{pat}()` in a simulation crate; use the simulated clock"),
-                        &mut findings,
-                    );
-                }
-            }
-            // D3: ambient randomness.
-            for pat in ["thread_rng", "from_entropy", "rand::random"] {
-                if code.contains(pat) {
-                    push(
-                        Rule::D3,
-                        format!(
-                            "ambient randomness `{pat}`; all RNG must flow from the seed lanes"
-                        ),
-                        &mut findings,
-                    );
-                }
-            }
-            // D7b: sim-plane registry mutators must be handed a literal
-            // metric name (string contents are blanked by the scanner, but
-            // the opening quote survives, so a literal first argument always
-            // begins with `"`). Calls that wrap the argument list pick up
-            // the first token from the next non-empty code line.
-            for m in OBS_MUTATORS {
-                let mut from = 0;
-                while let Some(pos) = code[from..].find(m) {
-                    let at = from + pos;
-                    let mut first = code[at + m.len()..].trim_start();
-                    if first.is_empty() {
-                        first = (i + 1..scan.code.len())
-                            .map(|j| scan.code[j].trim_start())
-                            .find(|c| !c.is_empty())
-                            .unwrap_or("");
-                    }
-                    if !first.is_empty() && !first.starts_with('"') {
-                        push(
-                            Rule::D7,
-                            format!(
-                                "dynamic metric name in `{}…)`; sim-plane instruments take a \
-                                 `&'static str` literal name so the exported key space is fixed",
-                                m.trim_end_matches('(')
-                            ),
-                            &mut findings,
-                        );
-                    }
-                    from = at + m.len();
-                }
-            }
-        }
-
-        // D7a: host-plane (wall-clock) observability outside the driver
-        // binaries. Applies to every crate that is not a driver: the host
-        // plane must never leak timings into simulation or analysis code.
-        if !HOST_PLANE_CRATES.contains(&ctx.crate_name.as_str()) && code.contains("obs::host") {
-            push(
-                Rule::D7,
-                "host-plane observability `obs::host` outside repro/bench; simulation and \
-                 analysis code may only use the deterministic sim plane"
-                    .to_string(),
-                &mut findings,
-            );
-        }
-
-        if ctx.hot() {
-            for (pat, what) in [
-                (".unwrap()", "unwrap()"),
-                (".expect(", "expect()"),
-                ("panic!", "panic!"),
-            ] {
-                if code.contains(pat) {
-                    push(
-                        Rule::D4,
-                        format!(
-                            "`{what}` in hot-path library code; return an error, restructure, \
-                             or justify with an allow-marker"
-                        ),
-                        &mut findings,
-                    );
-                }
-            }
-        }
-
-        if ctx.outcome() {
-            // D6: `let _ =` on an experiment call throws its typed Outcome
-            // away. The discarded expression may wrap onto following lines;
-            // gather through the statement's terminating `;`.
-            if let Some(at) = find_let_discard(code) {
-                let mut rhs = code[at..].to_string();
-                let mut j = i;
-                while !rhs.contains(';') && j + 1 < scan.code.len() && j - i < 8 {
-                    j += 1;
-                    rhs.push_str(&scan.code[j]);
-                }
-                if let Some(call) = D6_CALLS.iter().find(|c| rhs.contains(*c)) {
-                    push(
-                        Rule::D6,
-                        format!(
-                            "`let _ =` discards the typed Outcome of `{}`; record it in the \
-                             dataset or propagate it",
-                            call.trim_end_matches('(')
-                        ),
-                        &mut findings,
-                    );
-                }
-            }
         }
     }
 
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    out.dedup();
+    out
 }
 
-/// Position right after a `let _ =` wildcard discard, if the line has one.
-/// Named discards (`let _timing = …`) keep the value inspectable in a
-/// debugger and do not fire.
-fn find_let_discard(code: &str) -> Option<usize> {
-    const NEEDLE: &str = "let _ =";
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(NEEDLE) {
-        let at = from + pos;
-        let before = code[..at].chars().next_back();
-        if before.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_')) {
-            return Some(at + NEEDLE.len());
-        }
-        from = at + NEEDLE.len();
-    }
-    None
+/// Scans one file's source. `file` is the label used in diagnostics. Runs
+/// the local rules plus the flow passes (D8/D9) over this file's own call
+/// graph; the D12 workspace cross-check needs [`scan_workspace`].
+pub fn scan_file(file: &str, source: &str, ctx: &FileCtx) -> Vec<Finding> {
+    let records = vec![build_record(file, source, ctx)];
+    let graph = rules::build_graph(&records);
+    let global = rules::global_findings(&records, &graph, None);
+    suppress_and_audit(&records, global)
 }
 
-/// Position right after a `for ` keyword token, if the line has one.
-fn find_for_keyword(code: &str) -> Option<usize> {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find("for ") {
-        let at = from + pos;
-        let before = code[..at].chars().next_back();
-        if before.is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_')) {
-            return Some(at + 4);
-        }
-        from = at + 4;
-    }
-    None
-}
-
-/// Whether `s` is a bare receiver path (`self.entries`, `groups`) rather
-/// than an arbitrary expression (whose order may already be laundered
-/// through sorting adapters).
-fn is_plain_path(s: &str) -> bool {
-    !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+/// A workspace scan's full outcome: lint findings plus internal scan
+/// errors (unreadable or non-UTF-8 files), which are *not* lint failures
+/// and exit with a distinct code in the CLI.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub errors: Vec<String>,
 }
 
 /// A workspace crate to scan.
-#[derive(Debug)]
 struct Package {
     name: String,
     src: PathBuf,
 }
 
-/// Scans the whole workspace rooted at `root`. Test targets (`tests/`,
-/// `benches/`, `examples/`) are skipped: every rule here exempts test
-/// code, and D5 applies to crate roots only.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+fn packages(root: &Path) -> std::io::Result<Vec<Package>> {
     let mut packages = Vec::new();
     if root.join("src").is_dir() {
         packages.push(Package {
@@ -829,28 +414,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             });
         }
     }
-
-    let mut findings = Vec::new();
-    for pkg in &packages {
-        let mut files = Vec::new();
-        collect_rs(&pkg.src, &mut files)?;
-        files.sort();
-        for f in files {
-            let rel = f
-                .strip_prefix(root)
-                .unwrap_or(&f)
-                .to_string_lossy()
-                .replace('\\', "/");
-            let is_root = f
-                .file_name()
-                .is_some_and(|n| n == "lib.rs" || n == "main.rs")
-                && f.parent().is_some_and(|p| p == pkg.src);
-            let source = std::fs::read_to_string(&f)?;
-            let ctx = FileCtx::new(&pkg.name, is_root);
-            findings.extend(scan_file(&rel, &source, &ctx));
-        }
-    }
-    Ok(findings)
+    Ok(packages)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -865,35 +429,113 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Scans the whole workspace rooted at `root`, with the per-file cache
+/// under `target/detlint/` enabled or not. Test targets (`tests/`,
+/// `benches/`, `examples/`) are skipped: every rule exempts test code,
+/// and D5 applies to crate roots only.
+pub fn scan_workspace_report(root: &Path, use_cache: bool) -> Report {
+    let mut report = Report::default();
+    let pkgs = match packages(root) {
+        Ok(p) => p,
+        Err(e) => {
+            report.errors.push(format!("{}: {e}", root.display()));
+            return report;
+        }
+    };
+    let cached = if use_cache {
+        cache::load(root)
+    } else {
+        Default::default()
+    };
+
+    let mut records: Vec<FileRecord> = Vec::new();
+    let mut hashes: Vec<u64> = Vec::new();
+    for pkg in &pkgs {
+        let mut files = Vec::new();
+        if let Err(e) = collect_rs(&pkg.src, &mut files) {
+            report.errors.push(format!("{}: {e}", pkg.src.display()));
+            continue;
+        }
+        files.sort();
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let bytes = match std::fs::read(&f) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.errors.push(format!("{rel}: {e}"));
+                    continue;
+                }
+            };
+            let hash = cache::fnv1a(&bytes);
+            if let Some((h, rec)) = cached.entries.get(&rel) {
+                if *h == hash && rec.crate_name == pkg.name {
+                    records.push(clone_record(rec));
+                    hashes.push(hash);
+                    continue;
+                }
+            }
+            let source = match String::from_utf8(bytes) {
+                Ok(s) => s,
+                Err(e) => {
+                    report.errors.push(format!("{rel}: not valid UTF-8 ({e})"));
+                    continue;
+                }
+            };
+            let is_root = f
+                .file_name()
+                .is_some_and(|n| n == "lib.rs" || n == "main.rs")
+                && f.parent().is_some_and(|p| p == pkg.src);
+            let ctx = FileCtx::new(&pkg.name, is_root);
+            records.push(build_record(&rel, &source, &ctx));
+            hashes.push(hash);
+        }
+    }
+
+    if use_cache {
+        let pairs: Vec<(u64, &FileRecord)> = hashes.iter().copied().zip(records.iter()).collect();
+        cache::store(root, &pairs);
+    }
+
+    let graph = rules::build_graph(&records);
+    let decls = rules::load_metric_decls(root);
+    let global = rules::global_findings(&records, &graph, Some(&decls));
+    report.findings = suppress_and_audit(&records, global);
+    report
+}
+
+/// Clones a cached record (records are cheap: strings and small vectors).
+fn clone_record(rec: &FileRecord) -> FileRecord {
+    FileRecord {
+        path: rec.path.clone(),
+        crate_name: rec.crate_name.clone(),
+        raw: rec.raw.clone(),
+        facts: model::FileFacts {
+            fns: rec.facts.fns.clone(),
+            impl_types: rec.facts.impl_types.clone(),
+            metric_sites: rec.facts.metric_sites.clone(),
+            lane_mods: rec.facts.lane_mods.clone(),
+        },
+        markers: rec.markers.clone(),
+    }
+}
+
+/// Scans the whole workspace rooted at `root`. Internal scan errors
+/// (unreadable files) surface as `Err`; lint findings are the `Ok` value.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let report = scan_workspace_report(root, true);
+    if !report.errors.is_empty() {
+        return Err(std::io::Error::other(report.errors.join("; ")));
+    }
+    Ok(report.findings)
+}
+
 /// Renders findings as a JSON array (hand-rolled; no serde in the tree).
 pub fn to_json(findings: &[Finding]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-    let mut out = String::from("[\n");
-    for (i, f) in findings.iter().enumerate() {
-        out.push_str(&format!(
-            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
-            esc(&f.file),
-            f.line,
-            f.rule,
-            esc(&f.message),
-            if i + 1 < findings.len() { "," } else { "" }
-        ));
-    }
-    out.push(']');
-    out
+    report::to_json(findings)
 }
 
 /// Locates the workspace root: the nearest ancestor of `start` whose

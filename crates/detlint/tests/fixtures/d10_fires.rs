@@ -1,0 +1,12 @@
+//! D10 fixture: one allocation inside a hot function fires; the cold
+//! helper below allocates freely.
+
+// detlint: hot
+pub fn drain(events: &mut [u32]) -> usize {
+    let scratch: Vec<u32> = Vec::new();
+    events.len() + scratch.len()
+}
+
+pub fn cold_copy(events: &[u32]) -> Vec<u32> {
+    events.to_vec()
+}

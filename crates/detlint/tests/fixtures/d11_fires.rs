@@ -1,0 +1,10 @@
+//! D11 fixture: a `partial_cmp` comparator inside a sort adapter fires
+//! exactly once; the `total_cmp` sort below it is clean.
+
+pub fn rank(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn rank_total(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| a.0.total_cmp(&b.0));
+}

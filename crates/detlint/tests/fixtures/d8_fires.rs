@@ -1,0 +1,8 @@
+//! D8 fixture: one RNG seeded through a `lane::*` constant (clean) and
+//! one seeded from a bare literal (fires exactly once).
+
+pub fn device_rngs(master: u64) -> (StdRng, StdRng) {
+    let good = StdRng::seed_from_u64(derive_seed(master, lane::DEVICE, 3));
+    let bad = StdRng::seed_from_u64(1234);
+    (good, bad)
+}

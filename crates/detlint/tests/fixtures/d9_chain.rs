@@ -1,0 +1,15 @@
+//! D9 fixture: a `// detlint: hot` entry reaching a panic sink through a
+//! three-call chain; the diagnostic must spell out the whole chain.
+
+// detlint: hot
+pub fn dispatch(frame: &[u8]) -> u8 {
+    classify(frame)
+}
+
+fn classify(frame: &[u8]) -> u8 {
+    header_byte(frame)
+}
+
+fn header_byte(frame: &[u8]) -> u8 {
+    *frame.first().expect("frame is non-empty")
+}

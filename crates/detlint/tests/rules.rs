@@ -1,6 +1,9 @@
 //! detlint's own coverage: each rule fires exactly once on its fixture, a
-//! well-formed allow-marker suppresses, and a reasonless marker is itself
-//! an error that suppresses nothing.
+//! well-formed allow-marker suppresses, a reasonless marker is an error
+//! that suppresses nothing, and — since v2 — a marker that suppresses
+//! nothing is itself an error. The flow rules (D8/D9) are exercised over
+//! single-file call graphs here; the workspace-level passes (D12, cache,
+//! scan errors) live in `workspace.rs`.
 
 use detlint::{scan_file, FileCtx, Finding, Rule};
 
@@ -11,12 +14,23 @@ const D4: &str = include_str!("fixtures/d4_fires.rs");
 const D5: &str = include_str!("fixtures/d5_fires.rs");
 const D6: &str = include_str!("fixtures/d6_fires.rs");
 const D7: &str = include_str!("fixtures/d7_fires.rs");
+const D8: &str = include_str!("fixtures/d8_fires.rs");
+const D9: &str = include_str!("fixtures/d9_chain.rs");
+const D10: &str = include_str!("fixtures/d10_fires.rs");
+const D11: &str = include_str!("fixtures/d11_fires.rs");
 const ALLOWED: &str = include_str!("fixtures/allowed.rs");
 const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
+const UNUSED: &str = include_str!("fixtures/unused_marker.rs");
 
 /// A sim + hot crate, non-root file: D1–D4 all apply.
 fn sim_hot() -> FileCtx {
     FileCtx::new("netsim", false)
+}
+
+/// A sim crate outside the hot set: D4 stays quiet, so the flow rules
+/// (D8–D11) can be observed in isolation.
+fn sim_cold() -> FileCtx {
+    FileCtx::new("cdnsim", false)
 }
 
 fn rules(findings: &[Finding]) -> Vec<Rule> {
@@ -28,7 +42,9 @@ fn d1_fires_exactly_once() {
     let f = scan_file("d1_fires.rs", D1, &sim_hot());
     assert_eq!(rules(&f), vec![Rule::D1], "{f:?}");
     assert_eq!(f[0].line, 6);
+    assert!(f[0].col > 1, "column should be inside the line: {f:?}");
     assert!(f[0].message.contains("`scores`"), "{}", f[0].message);
+    assert!(f[0].snippet.is_some(), "text frames need the raw line");
 }
 
 #[test]
@@ -135,6 +151,169 @@ pub fn f(reg: &mut Registry, name: &'static str) {
 }
 
 #[test]
+fn d8_fires_exactly_once_on_opaque_seeds() {
+    let f = scan_file("d8_fires.rs", D8, &FileCtx::new("cellsim", false));
+    assert_eq!(rules(&f), vec![Rule::D8], "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (6, 23), "{f:?}");
+    assert!(
+        f[0].message.contains("seed_from_u64(1234)"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[0].message.contains("lane::"), "{}", f[0].message);
+    // Out of scope outside the simulation crates.
+    assert!(scan_file("d8.rs", D8, &FileCtx::new("bench", false)).is_empty());
+}
+
+#[test]
+fn d8_chases_literal_seeds_through_parameters() {
+    let src = "\
+fn make(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+pub fn build() -> StdRng {
+    make(99)
+}
+";
+    let f = scan_file("x.rs", src, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::D8], "{f:?}");
+    assert_eq!(f[0].line, 5, "flagged at the caller pinning the literal");
+    assert!(
+        f[0].message.contains("literal seed `99`"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[0].message.contains("`make`"), "{}", f[0].message);
+}
+
+#[test]
+fn d8_accepts_lane_derived_parameters() {
+    let src = "\
+fn make(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+pub fn build(master: u64) -> StdRng {
+    make(derive_seed(master, lane::ENGINE, 0))
+}
+";
+    assert!(scan_file("x.rs", src, &sim_cold()).is_empty());
+}
+
+#[test]
+fn d8_lane_modules_belong_to_measure() {
+    let src = "pub mod lane {\n    pub const ROGUE: u64 = 9;\n}\n";
+    let f = scan_file("x.rs", src, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::D8], "{f:?}");
+    assert!(f[0].message.contains("measure"), "{}", f[0].message);
+    assert!(scan_file("x.rs", src, &FileCtx::new("measure", false)).is_empty());
+}
+
+#[test]
+fn d9_reports_the_full_chain_with_spans() {
+    let f = scan_file("d9_chain.rs", D9, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::D9], "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (14, 20), "sink span: {f:?}");
+    assert_eq!(
+        f[0].message,
+        "hot entry `dispatch` can reach `expect()` at d9_chain.rs:14:20 via \
+         dispatch (d9_chain.rs:5:5) -> classify (d9_chain.rs:9:1) -> \
+         header_byte (d9_chain.rs:13:1); make the callee total or justify \
+         the sink with an allow-marker"
+    );
+}
+
+#[test]
+fn d9_suppressible_at_the_sink_only() {
+    // Marker on the sink line: consumed, scan is clean.
+    let at_sink = D9.replace(
+        "    *frame.first().expect(\"frame is non-empty\")",
+        "    // detlint: allow(D9) -- dispatch only hands out non-empty frames\n    \
+         *frame.first().expect(\"frame is non-empty\")",
+    );
+    assert!(scan_file("d9_chain.rs", &at_sink, &sim_cold()).is_empty());
+
+    // Marker anywhere else on the chain suppresses nothing: the D9 finding
+    // survives and the marker itself becomes an error.
+    let midway = D9.replace(
+        "    classify(frame)",
+        "    // detlint: allow(D9) -- wrong place\n    classify(frame)",
+    );
+    let f = scan_file("d9_chain.rs", &midway, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::Marker, Rule::D9], "{f:?}");
+}
+
+#[test]
+fn d9_discharged_by_an_audited_d4_marker_in_hot_crates() {
+    let src = "\
+// detlint: hot
+pub fn step(q: &[u32]) -> u32 {
+    inner(q)
+}
+fn inner(q: &[u32]) -> u32 {
+    // detlint: allow(D4) -- q is non-empty by construction
+    q.first().copied().unwrap()
+}
+";
+    // In a hot crate the D4 audit covers the same sink: one justification,
+    // not two stacked markers.
+    assert!(scan_file("x.rs", src, &sim_hot()).is_empty());
+    // Outside the hot crates there is no D4 finding for the marker to
+    // justify, so it consumes nothing and D9 still fires.
+    let f = scan_file("x.rs", src, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::Marker, Rule::D9], "{f:?}");
+}
+
+#[test]
+fn d10_fires_exactly_once_inside_hot_fns() {
+    let f = scan_file("d10_fires.rs", D10, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::D10], "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (6, 29), "{f:?}");
+    assert!(f[0].message.contains("Vec::new"), "{}", f[0].message);
+    assert!(f[0].message.contains("`drain`"), "{}", f[0].message);
+}
+
+#[test]
+fn d10_marker_suppresses_with_reason() {
+    let allowed = D10.replace(
+        "    let scratch: Vec<u32> = Vec::new();",
+        "    // detlint: allow(D10) -- grows once, amortised over the batch\n    \
+         let scratch: Vec<u32> = Vec::new();",
+    );
+    assert!(scan_file("d10_fires.rs", &allowed, &sim_cold()).is_empty());
+}
+
+#[test]
+fn d11_partial_cmp_sort_fires_exactly_once() {
+    let f = scan_file("d11_fires.rs", D11, &FileCtx::new("analysis", false));
+    assert_eq!(rules(&f), vec![Rule::D11], "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (5, 8), "{f:?}");
+    assert!(f[0].message.contains("total_cmp"), "{}", f[0].message);
+}
+
+#[test]
+fn d11_float_keyed_collections_fire() {
+    let src = "pub fn f(m: &BTreeMap<f64, u32>) -> usize {\n    m.len()\n}\n";
+    let f = scan_file("x.rs", src, &FileCtx::new("analysis", false));
+    assert_eq!(rules(&f), vec![Rule::D11], "{f:?}");
+    assert!(f[0].message.contains("float-keyed"), "{}", f[0].message);
+}
+
+#[test]
+fn d11_bare_float_casts_fire_and_rounded_casts_are_clean() {
+    let bare = "pub fn f(x: f64) -> usize {\n    (x * 3.0) as usize\n}\n";
+    let f = scan_file("x.rs", bare, &FileCtx::new("analysis", false));
+    assert_eq!(rules(&f), vec![Rule::D11], "{f:?}");
+    assert!(f[0].message.contains("rounding"), "{}", f[0].message);
+
+    let rounded = "pub fn f(x: f64) -> usize {\n    (x * 3.0).floor() as usize\n}\n";
+    assert!(scan_file("x.rs", rounded, &FileCtx::new("analysis", false)).is_empty());
+
+    // Integer-to-integer casts are none of D11's business.
+    let int = "pub fn f(x: u64) -> usize {\n    x as usize\n}\n";
+    assert!(scan_file("x.rs", int, &FileCtx::new("analysis", false)).is_empty());
+}
+
+#[test]
 fn valid_markers_suppress_everything() {
     let root = FileCtx::new("netsim", true);
     let f = scan_file("allowed.rs", ALLOWED, &root);
@@ -159,9 +338,22 @@ fn marker_with_empty_reason_is_an_error() {
 
 #[test]
 fn marker_naming_unknown_rule_is_an_error() {
-    let src = "// detlint: allow(D9) -- no such rule\nfn f() {}\n";
+    let src = "// detlint: allow(D99) -- no such rule\nfn f() {}\n";
     let f = scan_file("x.rs", src, &sim_hot());
     assert_eq!(rules(&f), vec![Rule::Marker], "{f:?}");
+}
+
+#[test]
+fn unused_marker_is_an_error() {
+    let f = scan_file("unused_marker.rs", UNUSED, &sim_cold());
+    assert_eq!(rules(&f), vec![Rule::Marker], "{f:?}");
+    assert_eq!(f[0].line, 5);
+    assert!(
+        f[0].message.contains("suppresses nothing"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[0].message.contains("line 6"), "{}", f[0].message);
 }
 
 #[test]
@@ -250,13 +442,54 @@ fn json_output_is_escaped_and_well_formed() {
     let f = vec![Finding {
         file: "a\\b.rs".into(),
         line: 7,
+        col: 3,
         rule: Rule::D2,
         message: "say \"no\"".into(),
+        snippet: None,
     }];
     let json = detlint::to_json(&f);
     assert!(json.starts_with('[') && json.ends_with(']'));
     assert!(json.contains("\"rule\": \"D2\""));
+    assert!(json.contains("\"col\": 3"));
     assert!(json.contains("a\\\\b.rs"));
     assert!(json.contains("say \\\"no\\\""));
     assert_eq!(detlint::to_json(&[]), "[\n]");
+}
+
+#[test]
+fn sarif_output_has_the_2_1_0_shape() {
+    let f = vec![Finding {
+        file: "crates/x/src/lib.rs".into(),
+        line: 7,
+        col: 3,
+        rule: Rule::D9,
+        message: "chain".into(),
+        snippet: None,
+    }];
+    let sarif = detlint::report::to_sarif(&f);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("sarif-schema-2.1.0"));
+    assert!(sarif.contains("\"ruleId\": \"D9\""));
+    assert!(sarif.contains("\"startLine\": 7"));
+    assert!(sarif.contains("\"startColumn\": 3"));
+    assert!(sarif.contains("crates/x/src/lib.rs"));
+}
+
+#[test]
+fn github_annotations_escape_properties_and_data() {
+    let f = vec![Finding {
+        file: "a.rs".into(),
+        line: 2,
+        col: 4,
+        rule: Rule::D11,
+        message: "bad: a,b\nnext".into(),
+        snippet: None,
+    }];
+    let gh = detlint::report::to_github(&f);
+    assert!(gh.starts_with("::error file=a.rs,line=2,col=4,"));
+    assert!(
+        gh.contains("bad%3A a%2Cb") || gh.contains("bad: a,b"),
+        "{gh}"
+    );
+    assert!(gh.contains("%0A"), "newlines must be escaped: {gh}");
 }

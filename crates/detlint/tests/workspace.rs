@@ -1,0 +1,125 @@
+//! Workspace-level behaviour over a synthetic mini-workspace on disk:
+//! the D12 metric cross-check (both directions), incremental-cache reuse
+//! and invalidation, and the scan-error path for unreadable input. The
+//! single-file rule semantics live in `rules.rs`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use detlint::Rule;
+
+/// Lays out a throwaway workspace with one sim crate, a CI baseline, and
+/// a vitals-check allowlist, then returns its root.
+fn mini_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("detlint-it-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/measure/src")).unwrap();
+    fs::create_dir_all(root.join("ci")).unwrap();
+    fs::create_dir_all(root.join("scripts")).unwrap();
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/measure/Cargo.toml"),
+        "[package]\nname = \"measure\"\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/measure/src/lib.rs"),
+        "#![forbid(unsafe_code)]\n\n\
+         pub fn emit(reg: &mut Registry) {\n    \
+         reg.inc(\"sim.good\", &[]);\n    \
+         reg.inc(\"sim.rogue\", &[]);\n\
+         }\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("ci/vitals-baseline.json"),
+        "{\n  \"required_counters\": [\"sim.good\"]\n}\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("scripts/vitals_check.py"),
+        "KNOWN_METRICS = [\n    \"sim.known\",\n]\n",
+    )
+    .unwrap();
+    root
+}
+
+#[test]
+fn d12_cross_checks_both_directions_and_cache_invalidates() {
+    let root = mini_workspace("d12");
+
+    let findings = detlint::scan_workspace(&root).expect("scan");
+    let d12: Vec<_> = findings.iter().filter(|f| f.rule == Rule::D12).collect();
+    assert_eq!(d12.len(), 2, "{findings:?}");
+    let rogue = d12
+        .iter()
+        .find(|f| f.message.contains("`sim.rogue`"))
+        .expect("undeclared emission flagged");
+    assert_eq!(rogue.file, "crates/measure/src/lib.rs");
+    assert_eq!(rogue.line, 5);
+    assert!(
+        rogue.message.contains("declared in neither"),
+        "{}",
+        rogue.message
+    );
+    let dead = d12
+        .iter()
+        .find(|f| f.message.contains("`sim.known`"))
+        .expect("dead declaration flagged");
+    assert_eq!(dead.file, "scripts/vitals_check.py");
+    assert_eq!(dead.line, 2);
+    assert!(
+        dead.message.contains("no sim-plane call site"),
+        "{}",
+        dead.message
+    );
+    assert_eq!(findings.len(), 2, "only D12 should fire here: {findings:?}");
+
+    // A warm-cache rescan of the unchanged tree agrees byte for byte.
+    let rescan = detlint::scan_workspace(&root).expect("warm rescan");
+    assert_eq!(rescan, findings);
+    assert!(root.join("target/detlint/cache.tsv").is_file());
+
+    // Emitting the allowlisted name rewrites one file; the cache must
+    // notice the content change and the dead-declaration finding clears.
+    let lib = root.join("crates/measure/src/lib.rs");
+    let patched = fs::read_to_string(&lib).unwrap().replace(
+        "reg.inc(\"sim.rogue\", &[]);",
+        "reg.inc(\"sim.rogue\", &[]);\n    reg.inc(\"sim.known\", &[]);",
+    );
+    fs::write(&lib, patched).unwrap();
+    let after = detlint::scan_workspace(&root).expect("post-edit scan");
+    assert_eq!(after.len(), 1, "{after:?}");
+    assert!(
+        after[0].message.contains("`sim.rogue`"),
+        "{}",
+        after[0].message
+    );
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn non_utf8_files_are_scan_errors_not_findings() {
+    let root = mini_workspace("utf8");
+    fs::write(
+        root.join("crates/measure/src/bad.rs"),
+        [0xffu8, 0xfe, b'f', b'n'],
+    )
+    .unwrap();
+
+    let report = detlint::scan_workspace_report(&root, false);
+    assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+    assert!(report.errors[0].contains("UTF-8"), "{}", report.errors[0]);
+    assert!(report.errors[0].contains("bad.rs"), "{}", report.errors[0]);
+    // The readable files are still linted on a best-effort basis.
+    assert!(!report.findings.is_empty());
+    // The strict wrapper refuses to pretend the scan was complete.
+    assert!(detlint::scan_workspace(&root).is_err());
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -459,6 +459,7 @@ impl<'a> Cursor<'a> {
     /// Decoding is zero-copy until the final conversion: the borrowed
     /// [`NameRef`] validates structure and alphabet in place, and
     /// [`NameRef::to_name`] then allocates exactly once per label.
+    // detlint: hot
     pub(crate) fn read_name(&mut self) -> Result<DnsName, WireError> {
         let (name, consumed) = NameRef::parse(self.buf, self.pos)?;
         self.pos += consumed;
@@ -466,6 +467,7 @@ impl<'a> Cursor<'a> {
     }
 
     /// Reads a possibly-compressed name without converting to owned form.
+    // detlint: hot
     pub(crate) fn read_name_ref(&mut self) -> Result<NameRef<'a>, WireError> {
         let (name, consumed) = NameRef::parse(self.buf, self.pos)?;
         self.pos += consumed;
@@ -484,6 +486,7 @@ pub struct MessageView<'a> {
 
 impl<'a> MessageView<'a> {
     /// Wraps `buf` if it is at least a full 12-byte header.
+    // detlint: hot
     pub fn new(buf: &'a [u8]) -> Result<Self, WireError> {
         if buf.len() < 12 {
             return Err(WireError::Truncated { context: "header" });
@@ -508,6 +511,7 @@ impl<'a> MessageView<'a> {
 
     /// Borrowed first question: `(qname, qtype, qclass)`, or `None` when
     /// the question section is empty.
+    // detlint: hot
     pub fn question(&self) -> Result<Option<(NameRef<'a>, RecordType, RecordClass)>, WireError> {
         if self.qdcount() == 0 {
             return Ok(None);

@@ -42,6 +42,7 @@ impl<'a> NameRef<'a> {
     /// Error variants and their precedence match the original eager
     /// decoder exactly: structural errors surface during the walk, label
     /// alphabet violations after it.
+    // detlint: hot
     pub fn parse(buf: &'a [u8], start: usize) -> Result<(NameRef<'a>, usize), WireError> {
         let mut wire_len = 1usize; // terminating root octet
         let mut read_pos = start;

@@ -860,7 +860,7 @@ fn make_shard(
         let mean = carrier.profile.ip_reassign_mean.as_micros();
         let jitter: f64 = -rng.gen_range(1e-9_f64..1.0_f64).ln();
         d.next_ip_change =
-            netsim::SimTime::ZERO + SimDuration::from_micros((mean as f64 * jitter) as u64);
+            netsim::SimTime::ZERO + SimDuration::from_micros((mean as f64 * jitter).floor() as u64);
     }
 
     CarrierShard {

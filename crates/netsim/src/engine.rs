@@ -641,6 +641,7 @@ impl Network {
     }
 
     /// Dispatches one event. Returns `false` when the queue is empty.
+    // detlint: hot
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
@@ -677,6 +678,7 @@ impl Network {
     /// Dispatches every event scheduled for the next occupied instant as
     /// one batch, including events scheduled *into* that instant while it
     /// is being drained. Returns the number dispatched (0 when idle).
+    // detlint: hot
     pub fn step_batch(&mut self) -> u64 {
         let Some(t) = self.queue.next_time() else {
             return 0;

@@ -52,7 +52,7 @@ impl LatencyModel {
     /// Propagation delay for a geographic distance, at ~5 µs/km (fiber),
     /// plus a small per-link forwarding floor.
     pub fn propagation(distance_km: f64) -> Self {
-        let us = (distance_km * 5.0).max(10.0) as u64;
+        let us = (distance_km * 5.0).max(10.0).floor() as u64;
         LatencyModel::Constant(SimDuration::from_micros(us))
     }
 

@@ -304,6 +304,7 @@ impl<K> Default for TimingWheel<K> {
 }
 
 impl<K: Send> EventQueue<K> for TimingWheel<K> {
+    // detlint: hot
     fn push(&mut self, ev: Event<K>) {
         self.live += 1;
         let slot = Self::slot_of(ev.time);
@@ -322,6 +323,7 @@ impl<K: Send> EventQueue<K> for TimingWheel<K> {
         }
     }
 
+    // detlint: hot
     fn pop(&mut self) -> Option<Event<K>> {
         loop {
             while let Some(ev) = self.current.pop() {

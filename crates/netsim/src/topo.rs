@@ -191,11 +191,14 @@ impl Topology {
         let prior = self.addr_map.insert(new, node);
         assert!(prior.is_none(), "duplicate address {new}");
         let addrs = &mut self.nodes[node.index()].addrs;
-        // detlint: allow(D4) -- addr_map and node.addrs are kept in lockstep;
-        // ownership of `old` was asserted two lines up, so absence here means
-        // internal corruption that must not be silently ignored.
-        let slot = addrs.iter_mut().find(|a| **a == old).expect("addr listed");
-        *slot = new;
+        // addr_map and node.addrs are kept in lockstep; ownership of `old`
+        // was asserted above, so absence here means internal corruption
+        // that must not be silently ignored.
+        let slot = addrs.iter().position(|a| *a == old);
+        assert!(slot.is_some(), "{old} missing from {node:?} addr list");
+        if let Some(i) = slot {
+            addrs[i] = new;
+        }
     }
 
     /// Connects two nodes with the given latency model.

@@ -39,6 +39,42 @@ import sys
 DEFAULT_REQUIRED = ["campaign.experiments", "campaign.lookups", "dns.cache.hits"]
 DEFAULT_REQUIRED_CELLULAR = ["fault.injected"]
 
+# Every sim-plane metric name the workspace may emit that is not already a
+# gated counter in vitals-baseline.json. This is the shared allowlist for
+# detlint rule D12 (which cross-checks it against the actual obs mutator
+# call sites, both directions) and for the unknown-counter check below:
+# adding an instrument means adding its name here or to the baseline, so
+# typo'd or orphaned counters fail CI instead of silently exporting.
+KNOWN_METRICS = [
+    "campaign.completed_backlog",
+    "campaign.identity_probes",
+    "campaign.replica_probes",
+    "campaign.resolver_probes",
+    "dns.cache.ambient_hits",
+    "dns.cache.evictions",
+    "dns.cache.misses",
+    "dns.forwarder.cache_answers",
+    "dns.forwarder.relayed",
+    "dns.forwarder.repicks",
+    "dns.forwarder.returned",
+    "dns.lookup.outcomes",
+    "dns.lookup_us",
+    "dns.resolver.cache_answers",
+    "dns.resolver.client_queries",
+    "dns.resolver.fault_dropped",
+    "dns.resolver.fault_servfails",
+    "dns.resolver.fault_truncations",
+    "dns.resolver.servfails",
+    "dns.resolver.upstream_queries",
+    "net.delivered",
+    "net.drops_by_cause",
+    "net.events",
+    "net.events_by_kind",
+    "net.forwards",
+    "net.queue_depth",
+    "net.timeouts",
+]
+
 
 def counter_total(metrics, name):
     return sum(c["value"] for c in metrics.get("counters", []) if c["name"] == name)
@@ -63,6 +99,15 @@ def check_smoke(argv):
         baseline = json.load(f)
 
     failures = []
+
+    known = set(KNOWN_METRICS)
+    known.update(baseline.get("required_counters", DEFAULT_REQUIRED))
+    known.update(baseline.get("required_counters_cellular", DEFAULT_REQUIRED_CELLULAR))
+    exported = set()
+    for plane in ("counters", "gauges", "histograms"):
+        exported.update(m["name"] for m in metrics.get(plane, []))
+    for name in sorted(exported - known):
+        failures.append(f"exported metric {name} is not in the baseline or KNOWN_METRICS")
 
     required = list(baseline.get("required_counters", DEFAULT_REQUIRED))
     if fault_profile == "cellular":

@@ -27,6 +27,37 @@ fn workspace_is_detlint_clean() {
     );
 }
 
+/// The flow rules only bite if their inputs stay wired: the engine's
+/// dispatch/parse hot paths must keep their `// detlint: hot` annotations
+/// (D9/D10 roots), and the D12 cross-check must find both declaration
+/// sources. Deleting any of these would silently disarm the lint while
+/// `workspace_is_detlint_clean` kept passing.
+#[test]
+fn flow_rule_inputs_stay_wired() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for file in [
+        "crates/netsim/src/engine.rs",
+        "crates/netsim/src/queue.rs",
+        "crates/dnswire/src/nameref.rs",
+        "crates/dnswire/src/message.rs",
+    ] {
+        let text = std::fs::read_to_string(root.join(file)).expect(file);
+        assert!(
+            text.contains("// detlint: hot"),
+            "{file} lost its hot-path annotations; D9/D10 have no roots there"
+        );
+    }
+    let decls = detlint::load_metric_decls(root);
+    assert!(
+        decls.names.keys().any(|n| n == "net.events"),
+        "KNOWN_METRICS in scripts/vitals_check.py no longer parses"
+    );
+    assert!(
+        decls.names.keys().any(|n| n == "campaign.experiments"),
+        "ci/vitals-baseline.json counters no longer parse"
+    );
+}
+
 #[test]
 fn workspace_root_discovery_walks_ancestors() {
     let nested = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/detlint/src");
