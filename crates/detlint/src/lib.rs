@@ -71,10 +71,12 @@ pub const SIM_CRATES: &[&str] = &[
     "netsim", "dnswire", "dnssim", "cellsim", "cdnsim", "measure", "analysis", "core", "obs",
 ];
 
-/// Crates allowed to touch the host plane (`obs::host`): the driver
-/// binaries, plus `obs` itself (the implementation). D7 fences everyone
-/// else onto the deterministic sim plane.
-pub const HOST_PLANE_CRATES: &[&str] = &["repro", "bench", "obs"];
+/// Crates allowed to touch the host plane (`obs::host`, wall clocks): the
+/// driver binaries, `obs` itself (the implementation), and the serving
+/// plane (`serve` binds real sockets, `loadgen` paces real traffic — both
+/// run on wall time by design). D7 fences everyone else onto the
+/// deterministic sim plane, and D2/D3 stay fully gated in sim crates.
+pub const HOST_PLANE_CRATES: &[&str] = &["repro", "bench", "obs", "serve", "loadgen"];
 
 /// Hot-path crates where D4 (panic-freedom of library code) applies. In
 /// these crates an audited `allow(D4)` marker also discharges D9 at the

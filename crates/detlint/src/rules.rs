@@ -1053,7 +1053,12 @@ fn d9_pass(records: &[FileRecord], graph: &CallGraph, out: &mut Vec<Finding>) {
 fn d12_pass(records: &[FileRecord], decls: &MetricDecls, out: &mut Vec<Finding>) {
     let mut used: BTreeMap<&str, Vec<(usize, usize, usize)>> = BTreeMap::new(); // name → (rec, line, col)
     for (ri, rec) in records.iter().enumerate() {
-        if !SIM_CRATES.contains(&rec.crate_name.as_str()) {
+        // Sim crates carry the campaign metrics; host-plane crates (the
+        // serving plane) emit their own counters too — both directions of
+        // the cross-check must see them.
+        if !SIM_CRATES.contains(&rec.crate_name.as_str())
+            && !crate::HOST_PLANE_CRATES.contains(&rec.crate_name.as_str())
+        {
             continue;
         }
         for site in &rec.facts.metric_sites {
@@ -1089,8 +1094,8 @@ fn d12_pass(records: &[FileRecord], decls: &MetricDecls, out: &mut Vec<Finding>)
                 col: 1,
                 rule: Rule::D12,
                 message: format!(
-                    "metric `{name}` is declared here but no sim-plane call site emits it; \
-                     remove the dead declaration"
+                    "metric `{name}` is declared here but no sim-plane or host-plane call \
+                     site emits it; remove the dead declaration"
                 ),
                 snippet: None,
             });

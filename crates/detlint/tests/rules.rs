@@ -18,6 +18,7 @@ const D8: &str = include_str!("fixtures/d8_fires.rs");
 const D9: &str = include_str!("fixtures/d9_chain.rs");
 const D10: &str = include_str!("fixtures/d10_fires.rs");
 const D11: &str = include_str!("fixtures/d11_fires.rs");
+const HOST_PLANE: &str = include_str!("fixtures/host_plane.rs");
 const ALLOWED: &str = include_str!("fixtures/allowed.rs");
 const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
 const UNUSED: &str = include_str!("fixtures/unused_marker.rs");
@@ -137,6 +138,27 @@ fn d7_respects_the_plane_boundaries() {
     let f = scan_file("d7.rs", D7, &FileCtx::new("obs", false));
     assert_eq!(rules(&f), vec![Rule::D7], "{f:?}");
     assert_eq!(f[0].line, 15);
+}
+
+#[test]
+fn serving_plane_crates_are_host_plane_by_classification() {
+    // The serving plane reads wall clocks and host-plane profilers as its
+    // whole job: `serve` and `loadgen` pass clean by crate classification,
+    // no allow-markers required.
+    for crate_name in ["serve", "loadgen"] {
+        let f = scan_file(
+            "host_plane.rs",
+            HOST_PLANE,
+            &FileCtx::new(crate_name, false),
+        );
+        assert!(f.is_empty(), "{crate_name} should be host-plane: {f:?}");
+    }
+    // The other direction: identical source inside a sim crate fires both
+    // the wall-clock rule and the host-plane-leak rule.
+    let f = scan_file("host_plane.rs", HOST_PLANE, &FileCtx::new("dnssim", false));
+    assert_eq!(rules(&f), vec![Rule::D2, Rule::D7], "{f:?}");
+    assert_eq!(f[0].line, 6, "Instant::now read");
+    assert_eq!(f[1].line, 7, "obs::host profiling");
 }
 
 #[test]

@@ -73,7 +73,8 @@ fn d12_cross_checks_both_directions_and_cache_invalidates() {
     assert_eq!(dead.file, "scripts/vitals_check.py");
     assert_eq!(dead.line, 2);
     assert!(
-        dead.message.contains("no sim-plane call site"),
+        dead.message
+            .contains("no sim-plane or host-plane call site"),
         "{}",
         dead.message
     );

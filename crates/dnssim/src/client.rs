@@ -15,7 +15,7 @@
 //! experiments are counted, not silently dropped.
 
 use crate::authority::DNS_PORT;
-use crate::tcp::DNS_TCP_PORT;
+use crate::tcp::{frame, require_frame, DNS_TCP_PORT};
 use dnswire::builder::QueryBuilder;
 use dnswire::message::{Message, MessageView, Rcode};
 use dnswire::name::DnsName;
@@ -438,9 +438,8 @@ fn resolve_over_tcp(
     }
     let id: u16 = net.rng().gen();
     let payload = encode_query(id, qname, qtype);
-    let mut framed = Vec::with_capacity(payload.len() + 2);
-    framed.extend_from_slice(&(payload.len() as u16).to_be_bytes());
-    framed.extend_from_slice(&payload);
+    // Queries are a few dozen bytes; framing cannot fail on them.
+    let framed = frame(&payload).map_err(|_| None)?;
     let port = net.alloc_client_port(node);
     net.register_service(
         node,
@@ -466,18 +465,51 @@ fn resolve_over_tcp(
     }
     net.unregister_service(node, port);
     let data = result?;
-    // Unwrap the 2-byte length prefix and decode.
-    if data.len() < 2 {
-        return Err(None);
-    }
-    let len = u16::from_be_bytes([data[0], data[1]]) as usize;
-    if data.len() < 2 + len {
-        return Err(None);
-    }
-    Message::decode(&data[2..2 + len])
+    // The fetch holds the complete stream, so any shortfall is a typed
+    // framing error (partial read / zero-length), not a wait state.
+    let payload = require_frame(&data).map_err(|_| None)?;
+    Message::decode(payload)
         .ok()
         .filter(|m| m.header.id == id && !m.header.flags.truncated)
         .ok_or(None)
+}
+
+/// Issues one lookup over TCP only (RFC 1035 §4.2.2 framing), with no UDP
+/// leg first — the path the serving plane's TCP front end takes when a
+/// wire client retries a truncated answer. Bounded by [`QUERY_TIMEOUT`].
+pub fn resolve_tcp(
+    net: &mut Network,
+    node: NodeId,
+    resolver: Ipv4Addr,
+    qname: &DnsName,
+    qtype: RecordType,
+) -> DnsLookup {
+    let sent_at = net.now();
+    let deadline = sent_at + QUERY_TIMEOUT;
+    let (response, elapsed, outcome) =
+        match resolve_over_tcp(net, node, resolver, qname, qtype, deadline) {
+            Ok(msg) => {
+                let outcome = if msg.header.rcode == Rcode::ServFail {
+                    Outcome::ServFail
+                } else {
+                    Outcome::Ok
+                };
+                (Some(msg), Some(net.now().since(sent_at)), outcome)
+            }
+            Err(Some(TcpFailure::Refused | TcpFailure::Reset)) => {
+                (None, None, Outcome::Unreachable)
+            }
+            Err(_) => (None, None, Outcome::Timeout),
+        };
+    DnsLookup {
+        qname: qname.clone(),
+        qtype,
+        resolver,
+        sent_at,
+        elapsed,
+        response,
+        outcome,
+    }
 }
 
 /// Issues a whoami probe: a unique nonce label under the probe zone, so no

@@ -29,14 +29,17 @@ pub mod zone;
 pub use authority::{AuthoritativeServer, DynamicZone, WhoamiZone, DNS_PORT};
 pub use cache::{AmbientModel, CacheOutcome, DnsCache};
 pub use client::{
-    resolve, resolve_with, whoami, whoami_with, BackoffMode, ClientPolicy, DnsLookup, Outcome,
-    QUERY_TIMEOUT,
+    resolve, resolve_tcp, resolve_with, whoami, whoami_with, BackoffMode, ClientPolicy, DnsLookup,
+    Outcome, QUERY_TIMEOUT,
 };
 pub use forwarder::{Forwarder, UpstreamPolicy};
 pub use hierarchy::{BuiltHierarchy, HierarchyBuilder};
 pub use parse::{parse_zone, ParseError};
 pub use recursive::{RecursiveResolver, ResolverConfig, ServerFaults};
-pub use tcp::{TcpDnsServer, DNS_TCP_PORT};
+pub use tcp::{
+    frame, require_frame, split_frame, FrameError, TcpDnsServer, TcpDnsStats, DNS_TCP_PORT,
+    MAX_FRAME_LEN,
+};
 pub use zone::{Zone, ZoneAnswer};
 
 /// Returns the placeholder-free version marker used by integration tests to

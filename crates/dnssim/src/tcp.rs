@@ -27,6 +27,118 @@ use std::net::Ipv4Addr;
 /// and UDP service ports in one namespace, so TCP/53 gets its own number).
 pub const DNS_TCP_PORT: u16 = 10_053;
 
+/// Largest DNS payload a length-prefixed frame may carry: the two-byte
+/// length field's ceiling (RFC 1035 §4.2.2). Read paths can never see a
+/// prefix above this — the field cannot express one — so the cap bites on
+/// the *build* side, where an oversized encode must be rejected rather
+/// than silently wrapped modulo 65536.
+pub const MAX_FRAME_LEN: usize = u16::MAX as usize;
+
+/// Why a length-prefixed TCP frame was rejected. Every framing decision
+/// the serve path and the sim relay share goes through the helpers below,
+/// so a malformed stream surfaces as one of these instead of a silent
+/// truncation or a connection that hangs until its relay deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The prefix claims a zero-length DNS message: meaningless, and a
+    /// stream position that could never make progress.
+    ZeroLength,
+    /// The message is larger than the two-byte prefix can describe.
+    Oversized {
+        /// Actual payload length.
+        len: usize,
+        /// The ceiling it violated ([`MAX_FRAME_LEN`]).
+        max: usize,
+    },
+    /// The buffer ends before the claimed frame does — a partial read.
+    /// Streaming callers treat this state as "wait for more bytes" (via
+    /// [`split_frame`]'s `Ok(None)`); one-shot callers holding a finished
+    /// stream get this error from [`require_frame`].
+    Partial {
+        /// Bytes available.
+        have: usize,
+        /// Bytes the complete frame requires (prefix included).
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ZeroLength => write!(f, "zero-length DNS frame"),
+            FrameError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "DNS frame of {len} bytes exceeds the {max}-byte prefix ceiling"
+                )
+            }
+            FrameError::Partial { have, need } => {
+                write!(f, "partial DNS frame: have {have} of {need} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Wraps an encoded DNS message in RFC 1035 §4.2.2 length-prefix framing.
+pub fn frame(msg: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if msg.is_empty() {
+        return Err(FrameError::ZeroLength);
+    }
+    if msg.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len: msg.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut framed = Vec::with_capacity(msg.len() + 2);
+    framed.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    framed.extend_from_slice(msg);
+    Ok(framed)
+}
+
+/// Streaming split: `Ok(Some((payload, consumed)))` when `buf` starts with
+/// a complete frame, `Ok(None)` when more bytes may still arrive, and
+/// `Err` when the prefix itself is invalid and the stream can never
+/// recover (the caller should tear the connection down).
+pub fn split_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, FrameError> {
+    if buf.len() < 2 {
+        return Ok(None);
+    }
+    let len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    if len == 0 {
+        return Err(FrameError::ZeroLength);
+    }
+    if buf.len() < 2 + len {
+        return Ok(None);
+    }
+    Ok(Some((&buf[2..2 + len], 2 + len)))
+}
+
+/// One-shot split for callers holding the complete stream (a finished
+/// `TcpFetch`, a fully read socket): every shortfall is a typed error,
+/// never a wait. Trailing bytes beyond the first frame are ignored.
+pub fn require_frame(buf: &[u8]) -> Result<&[u8], FrameError> {
+    if buf.len() < 2 {
+        return Err(FrameError::Partial {
+            have: buf.len(),
+            need: 2,
+        });
+    }
+    let len = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    if len == 0 {
+        return Err(FrameError::ZeroLength);
+    }
+    if buf.len() < 2 + len {
+        return Err(FrameError::Partial {
+            have: buf.len(),
+            need: 2 + len,
+        });
+    }
+    Ok(&buf[2..2 + len])
+}
+
 /// Retransmission timeout (mirrors `tcplite`'s).
 const RTO: SimDuration = SimDuration::from_millis(250);
 /// Retransmission attempts before a connection is abandoned.
@@ -46,6 +158,11 @@ enum ConnState {
 #[derive(Debug)]
 struct Conn {
     state: ConnState,
+    /// The local address the connection was opened to. Segments must keep
+    /// this exact source for the connection's whole life: on an anycast
+    /// VIP, timer-tick retransmissions would otherwise leave from the
+    /// node's primary address and the peer's TCP state would drop them.
+    local: Ipv4Addr,
     /// Next sequence number made available to send (ISN 0, SYN takes 1).
     next_seq: u32,
     /// First unacknowledged sequence number.
@@ -82,6 +199,9 @@ pub struct TcpDnsStats {
     pub answered: u64,
     /// Connections abandoned (retry exhaustion or relay deadline).
     pub aborts: u64,
+    /// Connections reset because the client sent a malformed frame
+    /// (zero-length prefix or a complete frame that is not DNS).
+    pub bad_frames: u64,
 }
 
 /// The DNS-over-TCP listener; see the module docs.
@@ -135,14 +255,14 @@ impl TcpDnsServer {
                 data: response[start..end].to_vec(),
             };
             conn.next_seq += (end - start) as u32;
-            out.push(seg_reply(peer, peer_port, &seg));
+            out.push(seg_reply(conn.local, peer, peer_port, &seg));
         }
         if conn.next_seq > total && conn.state == ConnState::Established {
             let fin = Segment::ctl(FIN | ACK, conn.next_seq, conn.peer_next);
             conn.next_seq += 1;
             conn.state = ConnState::FinWait;
             stats.answered += 1;
-            out.push(seg_reply(peer, peer_port, &fin));
+            out.push(seg_reply(conn.local, peer, peer_port, &fin));
         }
         if conn.rto_at.is_none() && conn.send_base < conn.next_seq {
             conn.rto_at = Some(now + RTO);
@@ -161,6 +281,7 @@ impl TcpDnsServer {
         match conn.state {
             ConnState::SynRcvd => {
                 out.push(seg_reply(
+                    conn.local,
                     peer,
                     peer_port,
                     &Segment::ctl(SYN | ACK, 0, conn.peer_next),
@@ -180,10 +301,11 @@ impl TcpDnsServer {
                             data: response[start..end].to_vec(),
                         };
                         seq += (end - start) as u32;
-                        out.push(seg_reply(peer, peer_port, &seg));
+                        out.push(seg_reply(conn.local, peer, peer_port, &seg));
                     }
                     if conn.state == ConnState::FinWait && seq > total {
                         out.push(seg_reply(
+                            conn.local,
                             peer,
                             peer_port,
                             &Segment::ctl(FIN | ACK, seq, conn.peer_next),
@@ -195,20 +317,48 @@ impl TcpDnsServer {
         conn.rto_at = Some(now + RTO);
     }
 
+    /// Resets a connection whose stream is unrecoverable (malformed
+    /// framing or a non-DNS payload), counting it in the stats.
+    fn reset_conn(&mut self, key: (Ipv4Addr, u16), out: &mut Vec<Egress>) {
+        if let Some(conn) = self.conns.remove(&key) {
+            if let Some(txn) = conn.txn {
+                self.pending.remove(&txn);
+            }
+            self.stats.bad_frames += 1;
+            self.stats.aborts += 1;
+            let (peer, peer_port) = key;
+            out.push(seg_reply(
+                conn.local,
+                peer,
+                peer_port,
+                &Segment::ctl(RST, conn.next_seq, conn.peer_next),
+            ));
+        }
+    }
+
     /// Tries to parse a complete length-prefixed query out of `conn.buf`
-    /// and relay it to the UDP resolver on this node.
+    /// and relay it to the UDP resolver on this node. A malformed frame
+    /// (zero-length prefix, undecodable payload) resets the connection
+    /// instead of silently holding it open until the relay deadline.
     fn try_relay(&mut self, key: (Ipv4Addr, u16), local_addr: Ipv4Addr, out: &mut Vec<Egress>) {
         let Some(conn) = self.conns.get_mut(&key) else {
             return;
         };
-        if conn.txn.is_some() || conn.buf.len() < 2 {
+        if conn.txn.is_some() {
             return;
         }
-        let need = u16::from_be_bytes([conn.buf[0], conn.buf[1]]) as usize;
-        if conn.buf.len() < 2 + need {
-            return;
-        }
-        let Ok(mut query) = Message::decode(&conn.buf[2..2 + need]) else {
+        let payload = match split_frame(&conn.buf) {
+            // Prefix or body still in flight: wait for more segments.
+            Ok(None) => return,
+            Ok(Some((payload, _consumed))) => payload.to_vec(),
+            Err(_) => {
+                self.reset_conn(key, out);
+                return;
+            }
+        };
+        let Ok(mut query) = Message::decode(&payload) else {
+            // A complete frame that is not DNS: the stream is garbage.
+            self.reset_conn(key, out);
             return;
         };
         let orig_id = query.header.id;
@@ -253,8 +403,8 @@ impl TcpDnsServer {
     }
 }
 
-fn seg_reply(to: Ipv4Addr, to_port: u16, seg: &Segment) -> Egress {
-    Egress::reply(to, to_port, seg.encode(), SimDuration::ZERO)
+fn seg_reply(src: Ipv4Addr, to: Ipv4Addr, to_port: u16, seg: &Segment) -> Egress {
+    Egress::reply(to, to_port, seg.encode(), SimDuration::ZERO).from_addr(src)
 }
 
 impl UdpService for TcpDnsServer {
@@ -272,10 +422,11 @@ impl UdpService for TcpDnsServer {
             if let Ok(mut msg) = Message::decode(payload) {
                 if let Some(relay) = self.pending.remove(&msg.header.id) {
                     msg.header.id = relay.orig_id;
-                    if let Ok(bytes) = msg.encode() {
-                        let mut framed = Vec::with_capacity(bytes.len() + 2);
-                        framed.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
-                        framed.extend_from_slice(&bytes);
+                    if let Ok(framed) = msg
+                        .encode()
+                        .map_err(drop)
+                        .and_then(|b| frame(&b).map_err(drop))
+                    {
                         if let Some(conn) = self.conns.get_mut(&relay.key) {
                             conn.response = Some(framed);
                             let (peer, peer_port) = relay.key;
@@ -301,10 +452,12 @@ impl UdpService for TcpDnsServer {
         }
         if seg.flags & SYN != 0 {
             let now = ctx.now;
+            let local = ctx.local_addr;
             let conn = self.conns.entry(key).or_insert_with(|| {
                 self.stats.connections += 1;
                 Conn {
                     state: ConnState::SynRcvd,
+                    local,
                     next_seq: 1,
                     send_base: 1,
                     peer_next: seg.seq + 1,
@@ -317,13 +470,18 @@ impl UdpService for TcpDnsServer {
                 }
             });
             let syn_ack = Segment::ctl(SYN | ACK, 0, conn.peer_next);
-            out.push(seg_reply(from, from_port, &syn_ack));
+            out.push(seg_reply(conn.local, from, from_port, &syn_ack));
             self.arm(ctx);
             return out;
         }
         let Some(conn) = self.conns.get_mut(&key) else {
             // No state for this peer: active refusal.
-            out.push(seg_reply(from, from_port, &Segment::ctl(RST, 0, seg.seq)));
+            out.push(seg_reply(
+                ctx.local_addr,
+                from,
+                from_port,
+                &Segment::ctl(RST, 0, seg.seq),
+            ));
             return out;
         };
         if seg.flags & ACK != 0 && seg.ack > conn.send_base {
@@ -349,6 +507,7 @@ impl UdpService for TcpDnsServer {
             }
             // Ack what we have (covers duplicates and reordering).
             out.push(seg_reply(
+                conn.local,
                 from,
                 from_port,
                 &Segment::ctl(ACK, conn.next_seq, conn.peer_next),
@@ -398,5 +557,79 @@ impl UdpService for TcpDnsServer {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_both_split_paths() {
+        let msg = b"\x12\x34hello dns".to_vec();
+        let framed = frame(&msg).unwrap();
+        assert_eq!(&framed[..2], &(msg.len() as u16).to_be_bytes());
+        assert_eq!(require_frame(&framed).unwrap(), &msg[..]);
+        let (payload, consumed) = split_frame(&framed).unwrap().unwrap();
+        assert_eq!(payload, &msg[..]);
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn frame_rejects_empty_and_oversized_messages() {
+        assert_eq!(frame(&[]), Err(FrameError::ZeroLength));
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert_eq!(
+            frame(&huge),
+            Err(FrameError::Oversized {
+                len: MAX_FRAME_LEN + 1,
+                max: MAX_FRAME_LEN,
+            })
+        );
+        // Exactly at the ceiling is fine.
+        let max = vec![0u8; MAX_FRAME_LEN];
+        assert!(frame(&max).is_ok());
+    }
+
+    #[test]
+    fn split_frame_waits_on_incomplete_data_but_rejects_zero_length() {
+        // Incomplete prefix, then incomplete body: both mean "wait".
+        assert_eq!(split_frame(&[]), Ok(None));
+        assert_eq!(split_frame(&[0x00]), Ok(None));
+        assert_eq!(split_frame(&[0x00, 0x05, 1, 2]), Ok(None));
+        // A zero-length claim can never make progress: typed error.
+        assert_eq!(split_frame(&[0x00, 0x00]), Err(FrameError::ZeroLength));
+        // Trailing bytes past the first frame are left for the caller.
+        let (payload, consumed) = split_frame(&[0x00, 0x01, 7, 9, 9]).unwrap().unwrap();
+        assert_eq!(payload, &[7]);
+        assert_eq!(consumed, 3);
+    }
+
+    #[test]
+    fn require_frame_types_every_shortfall() {
+        assert_eq!(
+            require_frame(&[0x00]),
+            Err(FrameError::Partial { have: 1, need: 2 })
+        );
+        assert_eq!(
+            require_frame(&[0x00, 0x05, 1, 2]),
+            Err(FrameError::Partial { have: 4, need: 7 })
+        );
+        assert_eq!(require_frame(&[0x00, 0x00, 9]), Err(FrameError::ZeroLength));
+        assert_eq!(require_frame(&[0x00, 0x02, 5, 6, 0xff]).unwrap(), &[5, 6]);
+    }
+
+    #[test]
+    fn frame_errors_render_useful_messages() {
+        assert_eq!(FrameError::ZeroLength.to_string(), "zero-length DNS frame");
+        assert!(FrameError::Oversized {
+            len: 70_000,
+            max: MAX_FRAME_LEN
+        }
+        .to_string()
+        .contains("70000"));
+        assert!(FrameError::Partial { have: 3, need: 9 }
+            .to_string()
+            .contains("3 of 9"));
     }
 }

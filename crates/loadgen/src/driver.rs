@@ -1,0 +1,304 @@
+//! The wire driver: sends scripted queries to a live server over real
+//! loopback sockets (one thread per carrier, strictly one query in flight
+//! per carrier so the server's per-shard injection order is exactly the
+//! script order), then optionally replays the recorded transcript into a
+//! ground-truth [`ServeCore`] and compares every answer byte-for-byte.
+
+use dnssim::{frame, require_frame};
+use dnswire::message::Message;
+use obs::Registry;
+use serve::{Clock, Endpoints, ServeCore, Transport, WallClock};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, UdpSocket};
+use std::time::Duration;
+
+use crate::script::Script;
+
+/// How long the driver waits for a UDP answer before resending. Generous:
+/// the bridge serves carriers round-robin and a sim resolution can take a
+/// few hundred microseconds of host work.
+const WIRE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Resends of one query before the run is declared wedged.
+const MAX_SENDS: u32 = 3;
+
+/// Driver knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DriverConfig {
+    /// Total target queries/second across all carriers (None = flat out).
+    pub qps: Option<u64>,
+    /// Replay the transcript into a ground-truth core and compare.
+    pub verify: bool,
+}
+
+/// What one scripted query did on the wire.
+#[derive(Debug, Clone)]
+struct WireRecord {
+    /// Times the UDP query was sent (each send reached the server's core
+    /// once, so the truth replay must repeat the call).
+    udp_sends: u32,
+    /// Final UDP answer bytes (None = every send timed out).
+    udp_reply: Option<Vec<u8>>,
+    /// TCP retry answer, when the UDP answer came back truncated.
+    tcp_reply: Option<Vec<u8>>,
+    /// First send → final answer, wall micros.
+    latency_us: u64,
+}
+
+/// Aggregated results of a run.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Wire sends (UDP sends + TCP retries).
+    pub sent: u64,
+    /// Scripted queries that got a final answer.
+    pub answered: u64,
+    /// TC-bit answers retried over TCP.
+    pub tc_retries: u64,
+    /// UDP sends that timed out on the wire.
+    pub wire_timeouts: u64,
+    /// Ground-truth mismatches (0 unless `verify`; any nonzero is a bug).
+    pub mismatches: u64,
+    /// Wire rcode taxonomy (`noerror`, `servfail`, ...) plus `timeout`.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Wall-clock round-trip latencies, micros, in completion order.
+    pub latencies_us: Vec<u64>,
+    /// Wall seconds the wire phase took.
+    pub wall_secs: f64,
+    /// Host-side counters mirroring the fields above (profile export).
+    pub registry: Registry,
+}
+
+impl RunStats {
+    /// Achieved queries/second over the wire phase.
+    pub fn qps(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.answered as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th percentile latency in micros (sorts a copy).
+    pub fn latency_percentile_us(&self, p: u64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as u64 - 1) * p / 100) as usize;
+        sorted[idx]
+    }
+}
+
+/// Drives `script` against the server at `eps`. With `cfg.verify`, builds
+/// a ground-truth [`ServeCore`] from `eps.config` and replays the wire
+/// transcript into it, counting byte mismatches.
+pub fn run(eps: &Endpoints, script: &Script, cfg: &DriverConfig) -> std::io::Result<RunStats> {
+    let clock = WallClock::new();
+    let carriers = eps.carriers.len().max(1) as u64;
+    let per_carrier_qps = cfg.qps.map(|q| (q / carriers).max(1));
+
+    let start_us = clock.now_us();
+    let mut transcripts: Vec<Vec<WireRecord>> = Vec::new();
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for (shard, queries) in script.per_carrier.iter().enumerate() {
+            let ep = &eps.carriers[shard];
+            let clock_ref = &clock;
+            handles
+                .push(scope.spawn(move || drive_carrier(ep, queries, per_carrier_qps, clock_ref)));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(Ok(t)) => transcripts.push(t),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(std::io::Error::other("carrier driver thread panicked")),
+            }
+        }
+        Ok(())
+    })?;
+    let wall_secs = (clock.now_us() - start_us) as f64 / 1e6;
+
+    // Aggregate the wire view.
+    let mut stats = RunStats {
+        sent: 0,
+        answered: 0,
+        tc_retries: 0,
+        wire_timeouts: 0,
+        mismatches: 0,
+        outcomes: BTreeMap::new(),
+        latencies_us: Vec::new(),
+        wall_secs,
+        registry: Registry::default(),
+    };
+    for transcript in &transcripts {
+        for rec in transcript {
+            stats.sent += rec.udp_sends as u64 + rec.tcp_reply.is_some() as u64;
+            stats.wire_timeouts += (rec.udp_sends - 1) as u64;
+            if rec.tcp_reply.is_some() {
+                stats.tc_retries += 1;
+            }
+            let last = rec.tcp_reply.as_ref().or(rec.udp_reply.as_ref());
+            match last {
+                Some(bytes) => {
+                    stats.answered += 1;
+                    stats.latencies_us.push(rec.latency_us);
+                    let label = match Message::decode(bytes) {
+                        Ok(m) => rcode_label(&m),
+                        Err(_) => "undecodable",
+                    };
+                    *stats.outcomes.entry(label.to_string()).or_insert(0) += 1;
+                }
+                None => {
+                    stats.wire_timeouts += 1;
+                    *stats.outcomes.entry("timeout".to_string()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    if cfg.verify {
+        stats.mismatches = verify(eps, script, &transcripts);
+    }
+
+    let reg = &mut stats.registry;
+    reg.inc_by("loadgen.sent", &[], stats.sent);
+    reg.inc_by("loadgen.answered", &[], stats.answered);
+    reg.inc_by("loadgen.tc_retries", &[], stats.tc_retries);
+    reg.inc_by("loadgen.wire_timeouts", &[], stats.wire_timeouts);
+    reg.inc_by("loadgen.mismatches", &[], stats.mismatches);
+    for &us in &stats.latencies_us {
+        reg.observe_us("loadgen.latency_us", &[], us);
+    }
+    Ok(stats)
+}
+
+fn rcode_label(m: &Message) -> &'static str {
+    use dnswire::message::Rcode;
+    match m.header.rcode {
+        Rcode::NoError => "noerror",
+        Rcode::ServFail => "servfail",
+        Rcode::NxDomain => "nxdomain",
+        _ => "other",
+    }
+}
+
+/// One carrier's wire loop: strictly one in-flight query, so the server's
+/// per-shard injection order is the script order.
+fn drive_carrier(
+    ep: &serve::CarrierEndpoint,
+    queries: &[crate::script::PlannedQuery],
+    qps: Option<u64>,
+    clock: &WallClock,
+) -> std::io::Result<Vec<WireRecord>> {
+    let sock = UdpSocket::bind("127.0.0.1:0")?;
+    sock.connect(ep.udp)?;
+    sock.set_read_timeout(Some(WIRE_TIMEOUT))?;
+    let mut buf = [0u8; 65_535];
+    let mut transcript = Vec::with_capacity(queries.len());
+    let epoch = clock.now_us();
+    for (i, q) in queries.iter().enumerate() {
+        if let Some(rate) = qps {
+            clock.sleep_until(epoch + i as u64 * 1_000_000 / rate);
+        }
+        let sent_at = clock.now_us();
+        let mut udp_sends = 0u32;
+        let mut udp_reply = None;
+        'sends: while udp_sends < MAX_SENDS {
+            sock.send(&q.wire)?;
+            udp_sends += 1;
+            loop {
+                match sock.recv(&mut buf) {
+                    Ok(n) => {
+                        // Discard stale datagrams (an answer to an earlier
+                        // send that already timed out) by transaction id.
+                        let id_matches = dnswire::message::MessageView::new(&buf[..n])
+                            .is_ok_and(|v| v.id() == q.id);
+                        if id_matches {
+                            udp_reply = Some(buf[..n].to_vec());
+                            break 'sends;
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // TC bit set → retry the identical query over TCP, like a stub.
+        let truncated = udp_reply
+            .as_ref()
+            .and_then(|b| Message::decode(b).ok())
+            .is_some_and(|m| m.header.flags.truncated);
+        let tcp_reply = if truncated {
+            tcp_retry(ep, &q.wire).ok()
+        } else {
+            None
+        };
+        transcript.push(WireRecord {
+            udp_sends,
+            udp_reply,
+            tcp_reply,
+            latency_us: clock.now_us() - sent_at,
+        });
+    }
+    Ok(transcript)
+}
+
+/// One length-prefixed query/answer exchange over a fresh TCP connection.
+fn tcp_retry(ep: &serve::CarrierEndpoint, wire: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect(ep.tcp)?;
+    stream.set_read_timeout(Some(WIRE_TIMEOUT))?;
+    let framed = frame(wire).map_err(std::io::Error::other)?;
+    stream.write_all(&framed)?;
+    let mut data = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        match require_frame(&data) {
+            Ok(payload) => return Ok(payload.to_vec()),
+            Err(_) => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(std::io::Error::other("server closed mid-frame"));
+                }
+                data.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+/// Replays the wire transcript into a fresh ground-truth core and counts
+/// byte mismatches. The truth core sees exactly the calls the server's
+/// bridge made: one `answer()` per UDP send (resends included), plus one
+/// TCP `answer()` wherever the wire did a TC retry.
+fn verify(eps: &Endpoints, script: &Script, transcripts: &[Vec<WireRecord>]) -> u64 {
+    let mut truth = ServeCore::new(eps.config.clone());
+    let mut mismatches = 0u64;
+    for (shard, transcript) in transcripts.iter().enumerate() {
+        for (qi, rec) in transcript.iter().enumerate() {
+            let wire = &script.per_carrier[shard][qi].wire;
+            let mut expect_udp = None;
+            for _ in 0..rec.udp_sends {
+                expect_udp = truth.answer(shard, Transport::Udp, wire).ok();
+            }
+            if let (Some(got), Some(want)) = (rec.udp_reply.as_ref(), expect_udp.as_ref()) {
+                if got != want {
+                    mismatches += 1;
+                }
+            }
+            if rec.tcp_reply.is_some() {
+                let expect_tcp = truth.answer(shard, Transport::Tcp, wire).ok();
+                if rec.tcp_reply != expect_tcp {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    mismatches
+}

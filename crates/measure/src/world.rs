@@ -254,8 +254,10 @@ pub struct CdnNet {
 
 /// Seed-stream lanes: every independent RNG stream in the world derives its
 /// seed from `(master, lane, index)` so streams never alias across lanes or
-/// carriers.
-mod lane {
+/// carriers. Public so the host-plane serving crates (`serve`, `loadgen`)
+/// can derive their query-mix streams from the same master seed without
+/// declaring lanes of their own (detlint D8 keeps declarations here).
+pub mod lane {
     /// Backbone assembly (CDN POP placement jitter).
     pub const BACKBONE: u64 = 0;
     /// Per-carrier topology/device construction.
@@ -270,11 +272,14 @@ mod lane {
     /// Per-shard device-rotation stream (§5.2 egress-coverage nudge). A
     /// dedicated lane so the nudge never perturbs churn or engine draws.
     pub const ROTATION: u64 = 5;
+    /// Per-carrier serving-plane query-mix stream (loadgen scripts). A
+    /// dedicated lane so live serving never perturbs campaign replay.
+    pub const SERVE: u64 = 6;
 }
 
 /// Derives an independent seed for `(lane, index)` from the master seed
 /// (SplitMix64 finalizer over a lane/index-keyed state).
-fn derive_seed(master: u64, lane: u64, index: u64) -> u64 {
+pub fn derive_seed(master: u64, lane: u64, index: u64) -> u64 {
     let mut z = master
         ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);

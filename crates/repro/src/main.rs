@@ -8,6 +8,16 @@
 //!         [--threads N] [--ecs] [--era lte|3g]
 //!         [--fault-profile none|cellular|stress] [--queue heap|wheel]
 //!         [--metrics] [--no-metrics] [--progress] [--quiet]
+//!   repro serve [--scale ...] [--seed N] [--endpoints PATH]
+//!         [--max-queries N] [--quiet]
+//!   repro soak  [--scale ...] [--seed N] [--queries N] [--qps N]
+//!         [--miss-per-mille N] [--no-verify] [--profile-out PATH] [--quiet]
+//!
+//! `serve` binds a real UDP/TCP DNS front end (loopback, kernel ports)
+//! over the simulated world and answers until `--max-queries` (or
+//! forever); the endpoints handshake file lets an external `loadgen`
+//! rebuild the exact same world for ground-truth verification. `soak`
+//! runs server + load generator + byte-for-byte verification in-process.
 //!
 //! `--threads N` caps the campaign driver at `N` OS threads (default: one
 //! per carrier shard, capped by the machine). Output is byte-identical for
@@ -44,6 +54,8 @@ use cdns::{figures, Study, StudyConfig};
 use std::fs;
 use std::path::PathBuf;
 
+mod serving;
+
 struct Args {
     targets: Vec<String>,
     scale: String,
@@ -58,6 +70,7 @@ struct Args {
     write_metrics: bool,
     progress: bool,
     quiet: bool,
+    serve: serving::ServeArgs,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +87,13 @@ fn parse_args() -> Result<Args, String> {
     let mut write_metrics = true;
     let mut progress = false;
     let mut quiet = false;
+    let mut endpoints_out = None;
+    let mut max_queries = None;
+    let mut soak_queries = 10_000u64;
+    let mut qps = None;
+    let mut miss_per_mille = 50u32;
+    let mut profile_out = None;
+    let mut verify = true;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -124,6 +144,45 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad thread count: {e}"))?,
                 );
             }
+            "--endpoints" => {
+                endpoints_out = Some(PathBuf::from(it.next().ok_or("--endpoints needs a path")?));
+            }
+            "--max-queries" => {
+                max_queries = Some(
+                    it.next()
+                        .ok_or("--max-queries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad query count: {e}"))?,
+                );
+            }
+            "--queries" => {
+                soak_queries = it
+                    .next()
+                    .ok_or("--queries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad query count: {e}"))?;
+            }
+            "--qps" => {
+                qps = Some(
+                    it.next()
+                        .ok_or("--qps needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad qps: {e}"))?,
+                );
+            }
+            "--miss-per-mille" => {
+                miss_per_mille = it
+                    .next()
+                    .ok_or("--miss-per-mille needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad per-mille: {e}"))?;
+            }
+            "--profile-out" => {
+                profile_out = Some(PathBuf::from(
+                    it.next().ok_or("--profile-out needs a path")?,
+                ));
+            }
+            "--no-verify" => verify = false,
             "--help" | "-h" => {
                 return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N] [--fault-profile none|cellular|stress] [--queue heap|wheel] [--metrics] [--no-metrics] [--progress] [--quiet]".into());
             }
@@ -133,6 +192,16 @@ fn parse_args() -> Result<Args, String> {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    let serve = serving::ServeArgs {
+        endpoints_out: endpoints_out.unwrap_or_else(|| out.join("serve-endpoints.txt")),
+        max_queries,
+        queries: soak_queries,
+        qps,
+        miss_per_mille,
+        profile_out,
+        verify,
+        quiet,
+    };
     Ok(Args {
         targets,
         scale,
@@ -147,6 +216,7 @@ fn parse_args() -> Result<Args, String> {
         write_metrics,
         progress,
         quiet,
+        serve,
     })
 }
 
@@ -195,6 +265,13 @@ fn main() {
     config.world.queue = args.queue;
     if let Some(n) = args.threads {
         config.parallelism = Parallelism::Threads(n);
+    }
+    // The serving plane: a live socket front end over the same world the
+    // batch campaign uses. Exits directly — artifacts are batch-only.
+    match args.targets.first().map(String::as_str) {
+        Some("serve") => std::process::exit(serving::run_serve(config.world, &args.serve)),
+        Some("soak") => std::process::exit(serving::run_soak(config.world, &args.serve)),
+        _ => {}
     }
     let mut prof = Profiler::new(!args.quiet);
     if !args.quiet {

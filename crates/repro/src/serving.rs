@@ -1,0 +1,213 @@
+//! `repro serve` / `repro soak` — the live serving plane.
+//!
+//! `serve` binds one UDP socket and one TCP listener per carrier on
+//! loopback, writes the endpoints handshake file, and answers real RFC
+//! 1035 queries out of the simulated world until `--max-queries` answers
+//! (or forever). `soak` runs the whole loop in-process: server up, the
+//! deterministic load generator drives the scripted mix over real
+//! sockets, every wire answer is replayed into a ground-truth core and
+//! compared byte-for-byte, and the host-plane profile is exported.
+
+use cdns::measure::WorldConfig;
+use cdns::obs::host::{Profiler, Stage};
+use loadgen::{build_script, render_profile_json, DriverConfig, MixConfig};
+use serve::DnsServer;
+use std::fs;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Knobs shared by `repro serve` and `repro soak`.
+pub struct ServeArgs {
+    /// Where to write the endpoints handshake file (serve mode).
+    pub endpoints_out: PathBuf,
+    /// Stop after this many answered queries (serve mode; None = forever).
+    pub max_queries: Option<u64>,
+    /// Total scripted queries (soak mode).
+    pub queries: u64,
+    /// Target queries/second across carriers (None = flat out).
+    pub qps: Option<u64>,
+    /// Cache-busting fraction in thousandths.
+    pub miss_per_mille: u32,
+    /// Where to write the soak profile JSON (None = skip).
+    pub profile_out: Option<PathBuf>,
+    /// Replay the wire transcript into a ground-truth core (soak mode).
+    pub verify: bool,
+    /// Silence stderr reporting.
+    pub quiet: bool,
+}
+
+/// `repro serve`: bind, publish endpoints, answer until done. Returns a
+/// process exit code.
+pub fn run_serve(config: WorldConfig, args: &ServeArgs) -> i32 {
+    let mut prof = Profiler::new(!args.quiet);
+    let bind_stage = Stage::begin("serve bind");
+    let server = match DnsServer::start(config, Ipv4Addr::LOCALHOST) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro serve: cannot bind: {e}");
+            return 1;
+        }
+    };
+    prof.record(bind_stage.end());
+
+    if let Some(dir) = args.endpoints_out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(dir);
+        }
+    }
+    let eps = server.endpoints();
+    if let Err(e) = fs::write(&args.endpoints_out, eps.render()) {
+        eprintln!(
+            "repro serve: cannot write {}: {e}",
+            args.endpoints_out.display()
+        );
+        return 1;
+    }
+    if !args.quiet {
+        for c in &eps.carriers {
+            eprintln!(
+                "repro serve: carrier {} '{}' udp {} tcp {} ({} devices)",
+                c.index, c.name, c.udp, c.tcp, c.devices
+            );
+        }
+        eprintln!(
+            "repro serve: endpoints written to {}; serving{}",
+            args.endpoints_out.display(),
+            match args.max_queries {
+                Some(n) => format!(" until {n} answers"),
+                None => " until killed".to_string(),
+            }
+        );
+    }
+
+    let serve_stage = Stage::begin("serve loop");
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if let Some(max) = args.max_queries {
+            if server.answered() >= max {
+                break;
+            }
+        }
+    }
+    let answered = server.answered();
+    prof.record_with_rates(serve_stage.end(), &[(answered, "answers")]);
+
+    let report = server.stop();
+    println!(
+        "serve: answered {} queries ({} undecodable, {} engine events)",
+        report.answered, report.errors, report.events
+    );
+    print!("{}", report.registry.render_table("serve vitals"));
+    if !args.quiet {
+        let text = prof.report();
+        if !text.is_empty() {
+            eprint!("repro serve: host-plane profile\n{text}");
+        }
+    }
+    0
+}
+
+/// `repro soak`: in-process server + load generator + ground-truth
+/// verification. Returns a process exit code (nonzero on any mismatch or
+/// a dead wire).
+pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
+    let mut prof = Profiler::new(!args.quiet);
+    let bind_stage = Stage::begin("soak bind");
+    let server = match DnsServer::start(config, Ipv4Addr::LOCALHOST) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro soak: cannot bind: {e}");
+            return 1;
+        }
+    };
+    let eps = server.endpoints().clone();
+    prof.record(bind_stage.end());
+    if !args.quiet {
+        eprintln!(
+            "repro soak: {} carriers up; scripting {} queries (miss {}/1000, qps {})",
+            eps.carriers.len(),
+            args.queries,
+            args.miss_per_mille,
+            args.qps
+                .map_or_else(|| "unpaced".to_string(), |q| q.to_string()),
+        );
+    }
+
+    let script_stage = Stage::begin("soak script");
+    let script = build_script(
+        &eps,
+        &MixConfig {
+            queries: args.queries,
+            miss_per_mille: args.miss_per_mille,
+        },
+    );
+    prof.record(script_stage.end());
+
+    let wire_stage = Stage::begin("soak wire");
+    let cfg = DriverConfig {
+        qps: args.qps,
+        verify: args.verify,
+    };
+    let stats = match loadgen::run(&eps, &script, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro soak: wire driver failed: {e}");
+            drop(server.stop());
+            return 1;
+        }
+    };
+    prof.record_with_rates(wire_stage.end(), &[(stats.answered, "answers")]);
+
+    let report = server.stop();
+    let profile = render_profile_json(&stats);
+    if let Some(path) = &args.profile_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = fs::write(path, &profile) {
+            eprintln!("repro soak: cannot write {}: {e}", path.display());
+        }
+    }
+
+    println!(
+        "soak: {} scripted, {} answered, {} tc-retries, {} wire-timeouts, {} mismatches",
+        script.total(),
+        stats.answered,
+        stats.tc_retries,
+        stats.wire_timeouts,
+        stats.mismatches
+    );
+    println!(
+        "soak: {:.0} q/s wall, p50 {} us, p99 {} us; server answered {} ({} engine events)",
+        stats.qps(),
+        stats.latency_percentile_us(50),
+        stats.latency_percentile_us(99),
+        report.answered,
+        report.events
+    );
+    if args.verify {
+        println!(
+            "soak: ground truth {}",
+            if stats.mismatches == 0 {
+                "clean — every wire answer byte-equal to the batch resolver"
+            } else {
+                "BROKEN — wire answers diverged from the batch resolver"
+            }
+        );
+    }
+    if !args.quiet {
+        eprintln!("repro soak: host-plane profile (loadgen)\n{profile}");
+        let text = prof.report();
+        if !text.is_empty() {
+            eprint!("repro soak: host-plane profile\n{text}");
+        }
+    }
+
+    if stats.mismatches > 0 || stats.answered == 0 {
+        return 1;
+    }
+    0
+}

@@ -1,0 +1,257 @@
+//! The serving core: a deterministic wire-query → wire-answer function
+//! over the simulated world. Everything socket-shaped lives elsewhere —
+//! this module never reads the wall clock, so a second core built from the
+//! same [`WorldConfig`] and fed the same per-carrier query sequence
+//! produces byte-identical answers (the ground-truth cross-check).
+
+use dnssim::{resolve_tcp, resolve_with, ClientPolicy};
+use dnswire::error::WireError;
+use dnswire::message::{Header, Message};
+use dnswire::rdata::RecordType;
+use measure::{build_world, World, WorldConfig};
+use obs::Registry;
+
+/// Which wire transport a query arrived over. TCP queries take the sim's
+/// TCP path (which advertises the maximum EDNS payload and is therefore
+/// exempt from forced-truncation faults), mirroring a real stub's TC-bit
+/// retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// RFC 1035 UDP datagram.
+    Udp,
+    /// RFC 1035 §4.2.2 length-prefixed TCP.
+    Tcp,
+}
+
+impl Transport {
+    /// Stable lowercase label (metrics/reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+/// Why a wire query could not be answered.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The datagram/frame is not a decodable DNS message.
+    Decode(WireError),
+    /// The message decoded but carries no question.
+    NoQuestion,
+    /// The carrier index is outside the world's shard range.
+    BadCarrier(usize),
+    /// The sim answered but the reply failed to encode (never expected;
+    /// surfaced instead of panicking in the serving loop).
+    Encode(WireError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Decode(e) => write!(f, "undecodable query: {e:?}"),
+            ServeError::NoQuestion => write!(f, "query carries no question"),
+            ServeError::BadCarrier(i) => write!(f, "no carrier shard {i}"),
+            ServeError::Encode(e) => write!(f, "reply failed to encode: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The deterministic serving core. One instance serves all carriers; each
+/// wire query is attributed to a carrier (the socket it arrived on) and
+/// resolved *as one of that carrier's devices would* — round-robin over
+/// the shard's device population, against the device's configured
+/// resolver, with the classic client policy so truncated fault answers
+/// keep their TC bit all the way to the wire client (whose own TCP retry
+/// then lands on [`Transport::Tcp`]).
+pub struct ServeCore {
+    world: World,
+    /// Per-shard round-robin device cursor.
+    cursors: Vec<usize>,
+    /// Sim-plane counters for the serving core (deterministic given the
+    /// injection sequence).
+    pub registry: Registry,
+}
+
+impl ServeCore {
+    /// Builds the world and wraps it in a serving core.
+    pub fn new(config: WorldConfig) -> ServeCore {
+        let world = build_world(config);
+        let cursors = vec![0; world.carrier_count()];
+        ServeCore {
+            world,
+            cursors,
+            registry: Registry::default(),
+        }
+    }
+
+    /// The world being served (read-only; mutating it would desync any
+    /// ground-truth replica).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Number of carrier shards (== serving sockets).
+    pub fn carrier_count(&self) -> usize {
+        self.world.carrier_count()
+    }
+
+    /// Display name of a carrier shard.
+    pub fn carrier_name(&self, shard: usize) -> &'static str {
+        self.world.shards[shard].carrier.profile.name
+    }
+
+    /// Device population of a carrier shard.
+    pub fn carrier_devices(&self, shard: usize) -> usize {
+        self.world.shards[shard].devices.len()
+    }
+
+    /// Answers one wire query for `shard`, returning the encoded reply.
+    ///
+    /// Deterministic: the answer depends only on the construction config
+    /// and the sequence of `(transport, query)` calls made against this
+    /// shard so far — never on wall time or cross-shard interleaving.
+    pub fn answer(
+        &mut self,
+        shard: usize,
+        transport: Transport,
+        query: &[u8],
+    ) -> Result<Vec<u8>, ServeError> {
+        if shard >= self.world.shards.len() {
+            return Err(ServeError::BadCarrier(shard));
+        }
+        let msg = Message::decode(query).map_err(ServeError::Decode)?;
+        let question = msg.questions.first().ok_or(ServeError::NoQuestion)?;
+        let qname = question.qname.clone();
+        let qtype = question.qtype;
+        let wire_id = msg.header.id;
+
+        let carrier = self.carrier_name(shard);
+        let shard_ref = &mut self.world.shards[shard];
+        let device_count = shard_ref.devices.len();
+        if device_count == 0 {
+            return Err(ServeError::BadCarrier(shard));
+        }
+        let device = &shard_ref.devices[self.cursors[shard] % device_count];
+        self.cursors[shard] += 1;
+        let (node, resolver) = (device.node, device.configured_dns);
+
+        let lookup = match transport {
+            Transport::Udp => resolve_with(
+                &mut shard_ref.net,
+                node,
+                resolver,
+                &qname,
+                qtype,
+                &ClientPolicy::classic(),
+            ),
+            Transport::Tcp => resolve_tcp(&mut shard_ref.net, node, resolver, &qname, qtype),
+        };
+
+        self.registry.inc(
+            "serve.queries",
+            &[("carrier", carrier), ("transport", transport.label())],
+        );
+        self.registry
+            .inc("serve.outcomes", &[("outcome", lookup.outcome.label())]);
+        if let Some(elapsed) = lookup.elapsed {
+            self.registry
+                .observe_us("serve.sim_latency_us", &[], elapsed.as_micros());
+        }
+
+        let mut reply = match lookup.response {
+            Some(m) => m,
+            // The sim-side lookup died (timeout/unreachable): the wire
+            // client still gets a well-formed SERVFAIL, like a real
+            // resolver front end would send.
+            None => servfail(wire_id, &qname, qtype),
+        };
+        reply.header.id = wire_id;
+        reply.encode().map_err(ServeError::Encode)
+    }
+
+    /// Total engine events dispatched across all shards (soak reporting).
+    pub fn total_events(&self) -> u64 {
+        self.world.total_events()
+    }
+}
+
+/// A minimal SERVFAIL reply echoing the question.
+fn servfail(id: u16, qname: &dnswire::name::DnsName, qtype: RecordType) -> Message {
+    let mut header = Header::query(id);
+    header.flags.response = true;
+    header.flags.recursion_desired = true;
+    header.flags.recursion_available = true;
+    header.rcode = dnswire::message::Rcode::ServFail;
+    let mut msg = Message::new(header);
+    msg.questions
+        .push(dnswire::message::Question::new(qname.clone(), qtype));
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::builder::QueryBuilder;
+
+    fn quick_core() -> ServeCore {
+        ServeCore::new(WorldConfig::quick(7))
+    }
+
+    fn query_bytes(id: u16, name: &str) -> Vec<u8> {
+        let mut q = QueryBuilder::new(id, name, RecordType::A)
+            .recursion_desired(true)
+            .build()
+            .unwrap();
+        q.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
+        q.encode().unwrap()
+    }
+
+    #[test]
+    fn answers_echo_the_wire_id_and_question() {
+        let mut core = quick_core();
+        let query = query_bytes(0xBEEF, "m.facebook.com");
+        let reply = core.answer(0, Transport::Udp, &query).unwrap();
+        let msg = Message::decode(&reply).unwrap();
+        assert_eq!(msg.header.id, 0xBEEF);
+        assert!(msg.header.flags.response);
+        assert_eq!(msg.questions[0].qname.to_string(), "m.facebook.com");
+        assert!(!msg.answer_addrs().is_empty(), "expected A records");
+        assert_eq!(core.registry.counter_total("serve.queries"), 1);
+    }
+
+    #[test]
+    fn two_cores_replay_byte_identically() {
+        let mut a = quick_core();
+        let mut b = quick_core();
+        for (i, name) in ["m.yelp.com", "m.twitter.com", "www.buzzfeed.com"]
+            .iter()
+            .enumerate()
+        {
+            let q = query_bytes(i as u16, name);
+            for shard in 0..a.carrier_count().min(2) {
+                let ra = a.answer(shard, Transport::Udp, &q).unwrap();
+                let rb = b.answer(shard, Transport::Udp, &q).unwrap();
+                assert_eq!(ra, rb, "shard {shard} answer diverged for {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_and_empty_queries_are_typed_errors() {
+        let mut core = quick_core();
+        assert!(matches!(
+            core.answer(0, Transport::Udp, b"not dns"),
+            Err(ServeError::Decode(_))
+        ));
+        let bad_shard = core.carrier_count();
+        let q = query_bytes(1, "m.yelp.com");
+        assert!(matches!(
+            core.answer(bad_shard, Transport::Udp, &q),
+            Err(ServeError::BadCarrier(_))
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! The socket front end: one UDP socket and one TCP listener per carrier
+//! shard, all feeding a single bridge thread that owns the [`ServeCore`].
+//!
+//! Ordering contract (what makes the wire ground-truth-checkable): per
+//! carrier, queries are processed in arrival order. A loopback UDP socket
+//! pair delivers datagrams FIFO, each socket has exactly one receive
+//! thread, and an `mpsc` channel preserves per-producer order — so a load
+//! generator that sends one-at-a-time per carrier knows exactly the
+//! injection sequence the core saw, and can replay it into a truth core.
+//! Cross-carrier interleaving is unconstrained and irrelevant: shards are
+//! independent engines.
+
+use crate::core::{ServeCore, Transport};
+use crate::endpoints::{CarrierEndpoint, Endpoints};
+use dnssim::{frame, split_frame};
+use measure::WorldConfig;
+use obs::Registry;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long blocking socket reads wait before re-checking the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+/// Idle timeout on accepted TCP connections (a stalled client may hold
+/// its thread at most this long past the last byte).
+const TCP_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Largest UDP query datagram we accept.
+const MAX_UDP_QUERY: usize = 4096;
+
+enum Event {
+    Udp {
+        shard: usize,
+        peer: SocketAddr,
+        data: Vec<u8>,
+    },
+    Tcp {
+        shard: usize,
+        data: Vec<u8>,
+        reply: mpsc::Sender<Vec<u8>>,
+    },
+    Shutdown,
+}
+
+/// What the bridge thread hands back when the server stops.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Wire queries answered (UDP + TCP).
+    pub answered: u64,
+    /// Wire queries dropped as undecodable.
+    pub errors: u64,
+    /// Engine events dispatched across all shards while serving.
+    pub events: u64,
+    /// The core's sim-plane registry (queries, outcomes, sim latency).
+    pub registry: Registry,
+}
+
+/// A running DNS server: sockets bound, threads live. Obtain endpoints
+/// via [`DnsServer::endpoints`], drive traffic, then [`DnsServer::stop`].
+pub struct DnsServer {
+    endpoints: Endpoints,
+    stop: Arc<AtomicBool>,
+    answered: Arc<AtomicU64>,
+    tx: mpsc::Sender<Event>,
+    bridge: JoinHandle<ServeReport>,
+    io_threads: Vec<JoinHandle<()>>,
+}
+
+impl DnsServer {
+    /// Builds the world and binds one UDP socket + one TCP listener per
+    /// carrier on `bind` (port 0 = kernel-assigned, the loopback default).
+    pub fn start(config: WorldConfig, bind: Ipv4Addr) -> std::io::Result<DnsServer> {
+        let core = ServeCore::new(config.clone());
+        let stop = Arc::new(AtomicBool::new(false));
+        let answered = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel::<Event>();
+
+        let mut carriers = Vec::new();
+        let mut udp_socks = Vec::new();
+        let mut io_threads = Vec::new();
+        for shard in 0..core.carrier_count() {
+            let udp = UdpSocket::bind((bind, 0))?;
+            udp.set_read_timeout(Some(POLL))?;
+            let tcp = TcpListener::bind((bind, 0))?;
+            tcp.set_nonblocking(true)?;
+            carriers.push(CarrierEndpoint {
+                index: shard,
+                name: core.carrier_name(shard).to_string(),
+                udp: udp.local_addr()?,
+                tcp: tcp.local_addr()?,
+                devices: core.carrier_devices(shard),
+            });
+
+            let udp_rx_sock = udp.try_clone()?;
+            udp_socks.push(udp);
+            let utx = tx.clone();
+            let ustop = Arc::clone(&stop);
+            io_threads.push(std::thread::spawn(move || {
+                udp_recv_loop(shard, udp_rx_sock, utx, ustop)
+            }));
+
+            let ttx = tx.clone();
+            let tstop = Arc::clone(&stop);
+            io_threads.push(std::thread::spawn(move || {
+                tcp_accept_loop(shard, tcp, ttx, tstop)
+            }));
+        }
+
+        let endpoints = Endpoints { config, carriers };
+        let bstop = Arc::clone(&stop);
+        let banswered = Arc::clone(&answered);
+        let bridge = std::thread::spawn(move || bridge_loop(core, udp_socks, rx, bstop, banswered));
+
+        Ok(DnsServer {
+            endpoints,
+            stop,
+            answered,
+            tx,
+            bridge,
+            io_threads,
+        })
+    }
+
+    /// Where each carrier is listening, plus the exact world config.
+    pub fn endpoints(&self) -> &Endpoints {
+        &self.endpoints
+    }
+
+    /// Wire queries answered so far.
+    pub fn answered(&self) -> u64 {
+        self.answered.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server: drains in-flight work, joins every thread, and
+    /// returns the final report.
+    pub fn stop(self) -> ServeReport {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the bridge even if no traffic is flowing.
+        let _ = self.tx.send(Event::Shutdown);
+        for t in self.io_threads {
+            let _ = t.join();
+        }
+        match self.bridge.join() {
+            Ok(report) => report,
+            Err(_) => ServeReport {
+                answered: self.answered.load(Ordering::SeqCst),
+                errors: 0,
+                events: 0,
+                registry: Registry::default(),
+            },
+        }
+    }
+}
+
+fn udp_recv_loop(shard: usize, sock: UdpSocket, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+    let mut buf = [0u8; MAX_UDP_QUERY];
+    while !stop.load(Ordering::SeqCst) {
+        match sock.recv_from(&mut buf) {
+            Ok((n, peer)) => {
+                let event = Event::Udp {
+                    shard,
+                    peer,
+                    data: buf[..n].to_vec(),
+                };
+                if tx.send(event).is_err() {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn tcp_accept_loop(
+    shard: usize,
+    listener: TcpListener,
+    tx: mpsc::Sender<Event>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = tx.clone();
+                let cstop = Arc::clone(&stop);
+                // One thread per connection: TCP retries are rare (TC
+                // answers only), so this stays tiny even under soak.
+                std::thread::spawn(move || tcp_conn_loop(shard, stream, ctx, cstop));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+fn tcp_conn_loop(
+    shard: usize,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Event>,
+    stop: Arc<AtomicBool>,
+) {
+    if stream.set_read_timeout(Some(TCP_READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 2048];
+    while !stop.load(Ordering::SeqCst) {
+        // Serve every complete frame currently buffered.
+        loop {
+            match split_frame(&buf) {
+                Ok(Some((payload, consumed))) => {
+                    let data = payload.to_vec();
+                    buf.drain(..consumed);
+                    let (rtx, rrx) = mpsc::channel();
+                    if tx
+                        .send(Event::Tcp {
+                            shard,
+                            data,
+                            reply: rtx,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    let Ok(reply) = rrx.recv() else { return };
+                    // An empty reply means the query was undecodable:
+                    // close, like a resolver dropping a garbage stream.
+                    if reply.is_empty() {
+                        return;
+                    }
+                    let Ok(framed) = frame(&reply) else { return };
+                    if stream.write_all(&framed).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // Unrecoverable framing (zero-length prefix): drop the
+                // connection, mirroring the sim relay's typed rejection.
+                Err(_) => return,
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn bridge_loop(
+    mut core: ServeCore,
+    udp_socks: Vec<UdpSocket>,
+    rx: mpsc::Receiver<Event>,
+    stop: Arc<AtomicBool>,
+    answered: Arc<AtomicU64>,
+) -> ServeReport {
+    let mut errors = 0u64;
+    loop {
+        let event = match rx.recv_timeout(POLL) {
+            Ok(ev) => ev,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        match event {
+            Event::Udp { shard, peer, data } => {
+                match core.answer(shard, Transport::Udp, &data) {
+                    Ok(reply) => {
+                        answered.fetch_add(1, Ordering::SeqCst);
+                        if let Some(sock) = udp_socks.get(shard) {
+                            let _ = sock.send_to(&reply, peer);
+                        }
+                    }
+                    // Undecodable datagrams are dropped silently, like a
+                    // real server; the counter still records them.
+                    Err(_) => errors += 1,
+                }
+            }
+            Event::Tcp { shard, data, reply } => match core.answer(shard, Transport::Tcp, &data) {
+                Ok(bytes) => {
+                    answered.fetch_add(1, Ordering::SeqCst);
+                    let _ = reply.send(bytes);
+                }
+                Err(_) => {
+                    errors += 1;
+                    let _ = reply.send(Vec::new());
+                }
+            },
+            Event::Shutdown => break,
+        }
+    }
+    ServeReport {
+        answered: answered.load(Ordering::SeqCst),
+        errors,
+        events: core.total_events(),
+        registry: core.registry,
+    }
+}

@@ -66,6 +66,12 @@ KNOWN_METRICS = [
     "dns.resolver.fault_truncations",
     "dns.resolver.servfails",
     "dns.resolver.upstream_queries",
+    "loadgen.answered",
+    "loadgen.latency_us",
+    "loadgen.mismatches",
+    "loadgen.sent",
+    "loadgen.tc_retries",
+    "loadgen.wire_timeouts",
     "net.delivered",
     "net.drops_by_cause",
     "net.events",
@@ -73,6 +79,9 @@ KNOWN_METRICS = [
     "net.forwards",
     "net.queue_depth",
     "net.timeouts",
+    "serve.outcomes",
+    "serve.queries",
+    "serve.sim_latency_us",
 ]
 
 
@@ -150,9 +159,50 @@ def check_bench(argv):
     failures = []
     tolerance = baseline["regression_tolerance"]
 
+    # The trajectory directory holds records from every bench family
+    # (`engine-queue-throughput` wheel runs, `serve-core-qps` serving-plane
+    # runs, ...); only records of the fresh run's own kind are comparable.
+    kind = fresh.get("bench", "engine-queue-throughput")
+    records = []
     for path in trajectory_paths:
         with open(path) as f:
             rec = json.load(f)
+        if rec.get("bench", "engine-queue-throughput") == kind:
+            records.append((path, rec))
+
+    if kind == "serve-core-qps":
+        for path, rec in records:
+            print(f"vitals: trajectory {path}: serve core {rec['qps']:.0f} q/s "
+                  f"(seed {rec['seed']}, quick={rec['quick']})")
+        qps = fresh["qps"]
+        low = baseline["serve_qps"]["low"]
+        floor = low * (1.0 - tolerance)
+        print(f"vitals: fresh serve-core throughput = {qps:.0f} q/s "
+              f"(baseline low {low:.0f}, failure floor {floor:.0f})")
+        if qps < floor:
+            failures.append(
+                f"serve-core q/s regressed: {qps:.0f} < {floor:.0f} "
+                f"(>{tolerance:.0%} below baseline low)")
+        if not records:
+            failures.append("no serve-core-qps BENCH_*.json trajectory files given")
+            return failures
+        # Trajectory-relative floor only against like-for-like runs: a
+        # quick CI burst (one cold iteration, small script) sits well
+        # below a recorded best-of-3 full run by construction, not by
+        # regression. Absolute `serve_qps.low` still gates such runs.
+        comparable = [r for _, r in records if r["quick"] == fresh["quick"]]
+        if comparable:
+            recorded = comparable[-1]["qps"]
+            rel_floor = recorded * (1.0 - tolerance)
+            print(f"vitals: latest comparable recorded serve-core qps = {recorded:.0f} "
+                  f"(failure floor {rel_floor:.0f})")
+            if qps < rel_floor:
+                failures.append(
+                    f"serve-core q/s fell below trajectory: {qps:.0f} < "
+                    f"{rel_floor:.0f} (latest recorded {recorded:.0f})")
+        return failures
+
+    for path, rec in records:
         print(f"vitals: trajectory {path}: wheel {rec['wheel']['events_per_sec']:.0f} events/s, "
               f"speedup {rec['wheel_speedup_over_heap']:.3f}x "
               f"(seed {rec['seed']}, quick={rec['quick']})")
@@ -167,10 +217,8 @@ def check_bench(argv):
             f"bench wheel events/sec regressed: {wheel_rate:.0f} < {floor:.0f} "
             f"(>{tolerance:.0%} below baseline low)")
 
-    if trajectory_paths:
-        with open(trajectory_paths[-1]) as f:
-            latest = json.load(f)
-        recorded = latest["wheel_speedup_over_heap"]
+    if records:
+        recorded = records[-1][1]["wheel_speedup_over_heap"]
         fresh_speedup = fresh["wheel_speedup_over_heap"]
         speedup_floor = recorded * (1.0 - tolerance)
         print(f"vitals: fresh wheel speedup = {fresh_speedup:.3f}x "

@@ -1,0 +1,132 @@
+//! Loopback integration of the serving plane: a real [`DnsServer`] bound
+//! on `127.0.0.1:0`, driven by the deterministic load generator, with
+//! every wire answer replayed into a ground-truth [`ServeCore`] built from
+//! the identical world config and compared byte-for-byte — over UDP, over
+//! TCP, and through the forced-TC → TCP retry path.
+
+use dnssim::{frame, require_frame};
+use dnswire::builder::QueryBuilder;
+use dnswire::message::Message;
+use dnswire::rdata::RecordType;
+use loadgen::{build_script, run, DriverConfig, MixConfig};
+use serve::{DnsServer, FaultProfile, ServeCore, Transport, WorldConfig};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, TcpStream};
+
+fn start(config: WorldConfig) -> DnsServer {
+    DnsServer::start(config, Ipv4Addr::LOCALHOST).expect("bind loopback")
+}
+
+fn query_bytes(id: u16, name: &str) -> Vec<u8> {
+    let mut q = QueryBuilder::new(id, name, RecordType::A)
+        .recursion_desired(true)
+        .build()
+        .unwrap();
+    q.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
+    q.encode().unwrap()
+}
+
+#[test]
+fn udp_wire_answers_match_the_batch_resolver() {
+    let server = start(WorldConfig::quick(11));
+    let eps = server.endpoints().clone();
+    // Mixed traffic: catalog domains plus 10% cache-busting probe nonces.
+    let script = build_script(
+        &eps,
+        &MixConfig {
+            queries: 600,
+            miss_per_mille: 100,
+        },
+    );
+    let stats = run(
+        &eps,
+        &script,
+        &DriverConfig {
+            qps: None,
+            verify: true,
+        },
+    )
+    .expect("wire run");
+    let report = server.stop();
+
+    assert_eq!(stats.answered, 600, "every scripted query must answer");
+    assert_eq!(
+        stats.mismatches, 0,
+        "wire answers diverged from ground truth"
+    );
+    assert_eq!(report.errors, 0);
+    assert!(report.answered >= 600);
+}
+
+#[test]
+fn tcp_path_answers_byte_identically() {
+    let config = WorldConfig::quick(23);
+    let server = start(config.clone());
+    let ep = server.endpoints().carriers[0].clone();
+
+    // A dig-style length-prefixed exchange against carrier 0's listener.
+    let wire = query_bytes(0x5151, "m.facebook.com");
+    let mut stream = TcpStream::connect(ep.tcp).expect("connect");
+    stream.write_all(&frame(&wire).unwrap()).expect("send");
+    let mut data = Vec::new();
+    let mut chunk = [0u8; 2048];
+    let got = loop {
+        if let Ok(payload) = require_frame(&data) {
+            break payload.to_vec();
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed before a full frame");
+        data.extend_from_slice(&chunk[..n]);
+    };
+    drop(stream);
+    let report = server.stop();
+    assert_eq!(report.answered, 1);
+
+    // Ground truth: the same single TCP call against a replica core.
+    let mut truth = ServeCore::new(config);
+    let want = truth.answer(0, Transport::Tcp, &wire).expect("truth");
+    assert_eq!(got, want, "TCP wire answer differs from the batch resolver");
+    let msg = Message::decode(&got).unwrap();
+    assert_eq!(msg.header.id, 0x5151);
+    assert!(
+        !msg.header.flags.truncated,
+        "TCP answers are never truncated"
+    );
+    assert!(!msg.answer_addrs().is_empty());
+}
+
+#[test]
+fn forced_tc_answers_recover_over_tcp_and_still_verify() {
+    // The cellular fault profile truncates ~4% of carrier-resolver UDP
+    // answers; the driver must retry those over TCP like a stub, and the
+    // transcript (UDP resends + TCP legs included) must still replay
+    // byte-identically into the ground-truth core.
+    let mut config = WorldConfig::quick(2014);
+    config.fault_profile = FaultProfile::Cellular;
+    let server = start(config);
+    let eps = server.endpoints().clone();
+    let script = build_script(
+        &eps,
+        &MixConfig {
+            queries: 2_000,
+            miss_per_mille: 50,
+        },
+    );
+    let stats = run(
+        &eps,
+        &script,
+        &DriverConfig {
+            qps: None,
+            verify: true,
+        },
+    )
+    .expect("wire run");
+    drop(server.stop());
+
+    assert!(
+        stats.tc_retries > 0,
+        "expected some forced-TC retries under the cellular profile"
+    );
+    assert_eq!(stats.answered, 2_000);
+    assert_eq!(stats.mismatches, 0, "TC retry path broke ground truth");
+}
