@@ -165,7 +165,7 @@ fn bench_obs_registry(c: &mut Criterion) {
         b.iter(|| {
             v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
             reg.observe_us("dns.lookup_us", &[("carrier", "AT&T")], v >> 40);
-            black_box(&reg)
+            black_box(v)
         })
     });
     group.bench_function("merge_and_export", |b| {

@@ -23,7 +23,7 @@ fn bench_campaign_parallel(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = campaign_config();
     for threads in [1usize, 2, 6] {
-        group.bench_function(format!("threads_{threads}"), |b| {
+        group.bench_function(&format!("threads_{threads}"), |b| {
             // A fresh world per iteration (untimed setup) keeps engine
             // clocks at zero so every thread count runs the identical
             // workload; only the campaign itself is timed.

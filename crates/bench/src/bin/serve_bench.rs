@@ -1,12 +1,16 @@
 //! `serve_bench` — the recorded serving-plane throughput harness behind
-//! `BENCH_8.json`.
+//! `BENCH_9.json` (`BENCH_8.json` recorded the pre-hardening path).
 //!
 //! Measures how fast [`ServeCore`] turns wire queries into wire answers
 //! with no sockets in the way: the same seed-lane-derived script the load
-//! generator replays, answered in-process over the UDP path. That isolates
-//! the serving plane's real bottleneck — the per-query sim resolution —
-//! from kernel socket overhead, so the recorded number tracks regressions
-//! in the decode → resolve → encode pipeline rather than loopback jitter.
+//! generator replays, answered in-process over the UDP path. Since the
+//! hostile-wire hardening, every query also pays the full admission tax —
+//! wire classification plus an (unthrottled) token-bucket decision — so
+//! the recorded number prices the hardened path, not a bypass. That
+//! isolates the serving plane's real bottleneck — the per-query sim
+//! resolution — from kernel socket overhead, so the recorded number
+//! tracks regressions in the classify → admit → decode → resolve → encode
+//! pipeline rather than loopback jitter.
 //!
 //! Usage:
 //!   serve_bench [--quick] [--out PATH] [--seed N] [--iters N] [--queries N]
@@ -19,7 +23,10 @@
 
 use cdns::obs::host::Stage;
 use loadgen::{build_script, MixConfig};
-use serve::{CarrierEndpoint, Endpoints, ServeCore, Transport, WorldConfig};
+use serve::{
+    classify, Admission, AdmitConfig, CarrierEndpoint, Endpoints, ServeCore, Served, Transport,
+    Verdict, WireClass, WorldConfig,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -33,7 +40,7 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut quick = false;
-    let mut out = PathBuf::from("BENCH_8.json");
+    let mut out = PathBuf::from("BENCH_9.json");
     let mut seed = 2014u64;
     let mut iters: Option<u32> = None;
     let mut queries: Option<u64> = None;
@@ -141,14 +148,26 @@ fn main() {
     let mut best: Option<Sample> = None;
     for i in 0..args.iters.max(1) {
         let mut core = ServeCore::new(config.clone());
+        // The bridge's admission check, with limits it can never hit: the
+        // bench pays classify + token arithmetic per query exactly like
+        // the serving path, without ever shedding.
+        let mut admission = Admission::new(AdmitConfig::unthrottled(), core.carrier_count(), 0);
+        let mut now_us = 0u64;
         let mut answers = 0u64;
         let stage = Stage::begin("serve_bench.replay");
         for (shard, queries) in script.per_carrier.iter().enumerate() {
             for q in queries {
-                match core.answer(shard, Transport::Udp, &q.wire) {
-                    Ok(_) => answers += 1,
-                    Err(e) => {
-                        eprintln!("serve_bench: shard {shard} query failed: {e}");
+                now_us += 1;
+                if !matches!(classify(&q.wire), WireClass::WellFormed)
+                    || admission.admit(shard, now_us, 1) != Verdict::Admit
+                {
+                    eprintln!("serve_bench: shard {shard} scripted query not admitted");
+                    std::process::exit(1);
+                }
+                match core.handle(shard, Transport::Udp, &q.wire) {
+                    Served::Reply(_) => answers += 1,
+                    Served::Drop(reason) => {
+                        eprintln!("serve_bench: shard {shard} query dropped: {reason:?}");
                         std::process::exit(1);
                     }
                 }

@@ -19,6 +19,7 @@ const D9: &str = include_str!("fixtures/d9_chain.rs");
 const D10: &str = include_str!("fixtures/d10_fires.rs");
 const D11: &str = include_str!("fixtures/d11_fires.rs");
 const HOST_PLANE: &str = include_str!("fixtures/host_plane.rs");
+const WIRE_CHAOS: &str = include_str!("fixtures/wire_chaos.rs");
 const ALLOWED: &str = include_str!("fixtures/allowed.rs");
 const MALFORMED: &str = include_str!("fixtures/malformed_marker.rs");
 const UNUSED: &str = include_str!("fixtures/unused_marker.rs");
@@ -159,6 +160,33 @@ fn serving_plane_crates_are_host_plane_by_classification() {
     assert_eq!(rules(&f), vec![Rule::D2, Rule::D7], "{f:?}");
     assert_eq!(f[0].line, 6, "Instant::now read");
     assert_eq!(f[1].line, 7, "obs::host profiling");
+}
+
+#[test]
+fn wire_chaos_modules_are_host_plane_and_lane_seeded() {
+    // The hostile-wire additions ride the same classification: the chaos
+    // planner (`loadgen::chaos`) and admission control (`serve::admit`)
+    // read wall clocks and host profilers freely in their own crates...
+    for crate_name in ["serve", "loadgen"] {
+        let f = scan_file(
+            "wire_chaos.rs",
+            WIRE_CHAOS,
+            &FileCtx::new(crate_name, false),
+        );
+        assert!(f.is_empty(), "{crate_name} should be host-plane: {f:?}");
+    }
+    // ...while the chaos RNG's `derive_seed(master, lane::WIRE_CHAOS,
+    // shard)` provenance satisfies D8 even under sim-crate scrutiny: the
+    // same source in a sim crate fires only the clock and profiler rules,
+    // never the opaque-seed rule.
+    let f = scan_file("wire_chaos.rs", WIRE_CHAOS, &FileCtx::new("dnssim", false));
+    assert_eq!(rules(&f), vec![Rule::D2, Rule::D7], "{f:?}");
+    assert_eq!(f[0].line, 13, "Instant::now read");
+    assert_eq!(f[1].line, 14, "obs::host profiling");
+    assert!(
+        !rules(&f).contains(&Rule::D8),
+        "lane::WIRE_CHAOS-derived seeds must pass D8: {f:?}"
+    );
 }
 
 #[test]

@@ -509,6 +509,44 @@ impl<'a> MessageView<'a> {
         u16::from_be_bytes([self.buf[4], self.buf[5]])
     }
 
+    /// Operation code from the header flags word.
+    pub fn opcode(&self) -> Opcode {
+        Opcode::from_code((self.buf[2] >> 3) & 0x0F)
+    }
+
+    /// Response code from the header flags word.
+    pub fn rcode(&self) -> Rcode {
+        Rcode::from_code(self.buf[3] & 0x0F)
+    }
+
+    /// RD bit: `true` when the querier asked for recursion.
+    pub fn recursion_desired(&self) -> bool {
+        self.buf[2] & 0x01 != 0
+    }
+
+    /// Classifies this message as a servable query — the single shared
+    /// precheck every serving front end runs before paying for a full
+    /// [`Message::decode`]. Exactly one place decides which malformed
+    /// shapes earn which RFC rcode, so the wire server, the ground-truth
+    /// replayer, and the chaos driver can never disagree.
+    // detlint: hot
+    pub fn precheck(&self) -> Precheck {
+        if self.is_response() {
+            return Precheck::Response;
+        }
+        if self.opcode() != Opcode::Query {
+            return Precheck::NonQuery;
+        }
+        if self.qdcount() != 1 {
+            return Precheck::BadQdCount;
+        }
+        match self.question() {
+            Ok(Some(_)) => Precheck::Query,
+            // qdcount said 1 but no question could be parsed out.
+            Ok(None) | Err(_) => Precheck::Unparseable,
+        }
+    }
+
     /// Borrowed first question: `(qname, qtype, qclass)`, or `None` when
     /// the question section is empty.
     // detlint: hot
@@ -524,6 +562,36 @@ impl<'a> MessageView<'a> {
         let qtype = RecordType::from_code(cur.read_u16("qtype")?);
         let qclass = RecordClass::from_code(cur.read_u16("qclass")?);
         Ok(Some((qname, qtype, qclass)))
+    }
+}
+
+/// Verdict of [`MessageView::precheck`]: what a serving front end owes the
+/// sender per RFC 1035 §4.1.1 before any resolver work happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precheck {
+    /// A well-formed single-question QUERY; safe to hand to a resolver.
+    Query,
+    /// QR bit set: a stray/reflected response. Never answer (answering
+    /// responses is how reflection loops start) — drop.
+    Response,
+    /// Unsupported opcode (IQUERY/STATUS/other) — answer NOTIMP.
+    NonQuery,
+    /// QDCOUNT is not exactly 1 — answer FORMERR.
+    BadQdCount,
+    /// The question section cannot be parsed — answer FORMERR.
+    Unparseable,
+}
+
+impl Precheck {
+    /// The rcode owed on the wire, or `None` for verdicts that must not
+    /// be answered at all ([`Precheck::Response`]) or that proceed to
+    /// resolution ([`Precheck::Query`]).
+    pub fn reject_rcode(self) -> Option<Rcode> {
+        match self {
+            Precheck::Query | Precheck::Response => None,
+            Precheck::NonQuery => Some(Rcode::NotImp),
+            Precheck::BadQdCount | Precheck::Unparseable => Some(Rcode::FormErr),
+        }
     }
 }
 
@@ -866,5 +934,93 @@ mod tests {
         // Either rejected as a loop or as trailing bytes (the chain region
         // itself is not valid message structure); it must not hang or panic.
         assert!(result.is_err());
+    }
+
+    fn query_wire(id: u16, qname: &str) -> Vec<u8> {
+        let mut msg = Message::new(Header::query(id));
+        msg.questions
+            .push(Question::new(name(qname), RecordType::A));
+        msg.encode().unwrap()
+    }
+
+    #[test]
+    fn precheck_accepts_a_single_question_query() {
+        let wire = query_wire(9, "m.example.com");
+        let view = MessageView::new(&wire).unwrap();
+        assert_eq!(view.precheck(), Precheck::Query);
+        assert_eq!(view.precheck().reject_rcode(), None);
+    }
+
+    #[test]
+    fn precheck_drops_stray_responses_without_an_rcode() {
+        let mut wire = query_wire(9, "m.example.com");
+        wire[2] |= 0x80; // set QR
+        let view = MessageView::new(&wire).unwrap();
+        assert_eq!(view.precheck(), Precheck::Response);
+        assert_eq!(view.precheck().reject_rcode(), None);
+    }
+
+    #[test]
+    fn precheck_answers_notimp_for_unsupported_opcodes() {
+        for opcode in [Opcode::IQuery, Opcode::Status, Opcode::Other(7)] {
+            let mut wire = query_wire(9, "m.example.com");
+            wire[2] = (wire[2] & !0x78) | (opcode.code() << 3);
+            let view = MessageView::new(&wire).unwrap();
+            assert_eq!(view.precheck(), Precheck::NonQuery, "{opcode:?}");
+            assert_eq!(view.precheck().reject_rcode(), Some(Rcode::NotImp));
+        }
+    }
+
+    #[test]
+    fn precheck_answers_formerr_for_bad_qdcount() {
+        // QDCOUNT = 0: no question at all.
+        let empty = Message::new(Header::query(3)).encode().unwrap();
+        let view = MessageView::new(&empty).unwrap();
+        assert_eq!(view.precheck(), Precheck::BadQdCount);
+        assert_eq!(view.precheck().reject_rcode(), Some(Rcode::FormErr));
+
+        // QDCOUNT = 2: multi-question queries are never serviced.
+        let mut msg = Message::new(Header::query(4));
+        msg.questions
+            .push(Question::new(name("a.example"), RecordType::A));
+        msg.questions
+            .push(Question::new(name("b.example"), RecordType::A));
+        let wire = msg.encode().unwrap();
+        let view = MessageView::new(&wire).unwrap();
+        assert_eq!(view.precheck(), Precheck::BadQdCount);
+        assert_eq!(view.precheck().reject_rcode(), Some(Rcode::FormErr));
+    }
+
+    #[test]
+    fn precheck_answers_formerr_for_unparseable_questions() {
+        // Claims one question but the name bytes are a truncated label.
+        let mut wire = vec![0, 5, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        wire.extend_from_slice(&[63, b'x']); // label says 63 bytes, has 1
+        let view = MessageView::new(&wire).unwrap();
+        assert_eq!(view.precheck(), Precheck::Unparseable);
+        assert_eq!(view.precheck().reject_rcode(), Some(Rcode::FormErr));
+    }
+
+    #[test]
+    fn view_header_accessors_match_full_decode() {
+        let mut msg = Message::new(Header {
+            id: 0x0102,
+            opcode: Opcode::Status,
+            flags: Flags {
+                response: false,
+                authoritative: false,
+                truncated: false,
+                recursion_desired: true,
+                recursion_available: false,
+            },
+            rcode: Rcode::Refused,
+        });
+        msg.questions
+            .push(Question::new(name("x.example"), RecordType::A));
+        let wire = msg.encode().unwrap();
+        let view = MessageView::new(&wire).unwrap();
+        assert_eq!(view.opcode(), Opcode::Status);
+        assert_eq!(view.rcode(), Rcode::Refused);
+        assert!(view.recursion_desired());
     }
 }

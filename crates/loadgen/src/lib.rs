@@ -14,10 +14,12 @@
 //!
 //! [`WorldConfig`]: measure::WorldConfig
 
+pub mod chaos;
 pub mod driver;
 pub mod report;
 pub mod script;
 
+pub use chaos::{ChaosAction, ChaosProfile};
 pub use driver::{run, DriverConfig, RunStats};
 pub use report::render_profile_json;
 pub use script::{build_script, MixConfig, PlannedQuery, Script};

@@ -12,7 +12,7 @@
 
 #![forbid(unsafe_code)]
 
-use loadgen::{build_script, render_profile_json, run, DriverConfig, MixConfig};
+use loadgen::{build_script, render_profile_json, run, ChaosProfile, DriverConfig, MixConfig};
 use serve::Endpoints;
 use std::path::PathBuf;
 
@@ -22,6 +22,7 @@ struct Args {
     qps: Option<u64>,
     miss_per_mille: u32,
     verify: bool,
+    chaos: ChaosProfile,
     profile_out: Option<PathBuf>,
     quiet: bool,
 }
@@ -32,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
     let mut qps = None;
     let mut miss_per_mille = 50u32;
     let mut verify = false;
+    let mut chaos = ChaosProfile::Off;
     let mut profile_out = None;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
@@ -63,6 +65,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad fraction: {e}"))?;
             }
             "--verify" => verify = true,
+            "--chaos" => {
+                let name = it.next().ok_or("--chaos needs a profile (mild|stress)")?;
+                chaos = ChaosProfile::parse(&name)
+                    .ok_or_else(|| format!("unknown chaos profile '{name}'"))?;
+            }
             "--profile-out" => {
                 profile_out = Some(PathBuf::from(
                     it.next().ok_or("--profile-out needs a path")?,
@@ -70,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                return Err("usage: loadgen --endpoints FILE [--queries N] [--qps N] [--miss-per-mille N] [--verify] [--profile-out FILE] [--quiet]".into());
+                return Err("usage: loadgen --endpoints FILE [--queries N] [--qps N] [--miss-per-mille N] [--verify] [--chaos mild|stress] [--profile-out FILE] [--quiet]".into());
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -81,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         qps,
         miss_per_mille,
         verify,
+        chaos,
         profile_out,
         quiet,
     })
@@ -115,16 +123,18 @@ fn main() {
     let script = build_script(&eps, &mix);
     if !args.quiet {
         eprintln!(
-            "loadgen: {} queries over {} carriers (seed {}, verify={})",
+            "loadgen: {} queries over {} carriers (seed {}, verify={}, chaos={})",
             script.total(),
             eps.carriers.len(),
             eps.config.seed,
             args.verify,
+            args.chaos.label(),
         );
     }
     let cfg = DriverConfig {
         qps: args.qps,
         verify: args.verify,
+        chaos: args.chaos,
     };
     let stats = match run(&eps, &script, &cfg) {
         Ok(s) => s,
@@ -143,7 +153,7 @@ fn main() {
         eprint!("loadgen: host-plane profile\n{profile}");
     }
     println!(
-        "loadgen: {} answered / {} sent, {:.0} qps, p50 {} us, p99 {} us, {} tc-retries, {} timeouts, {} mismatches",
+        "loadgen: {} answered / {} sent, {:.0} qps, p50 {} us, p99 {} us, {} tc-retries, {} timeouts, {} mismatches, {} chaos ({} shed, {} evicted)",
         stats.answered,
         stats.sent,
         stats.qps(),
@@ -152,6 +162,9 @@ fn main() {
         stats.tc_retries,
         stats.wire_timeouts,
         stats.mismatches,
+        stats.chaos_injected,
+        stats.shed_replies,
+        stats.evictions_observed,
     );
     if stats.mismatches > 0 || (args.verify && stats.answered == 0) {
         std::process::exit(1);

@@ -14,6 +14,20 @@ pub fn render_profile_json(stats: &RunStats) -> String {
     out.push_str(&format!("  \"tc_retries\": {},\n", stats.tc_retries));
     out.push_str(&format!("  \"wire_timeouts\": {},\n", stats.wire_timeouts));
     out.push_str(&format!("  \"mismatches\": {},\n", stats.mismatches));
+    out.push_str(&format!(
+        "  \"chaos_injected\": {},\n",
+        stats.chaos_injected
+    ));
+    out.push_str(&format!("  \"shed_replies\": {},\n", stats.shed_replies));
+    out.push_str(&format!("  \"shed_retries\": {},\n", stats.shed_retries));
+    out.push_str(&format!(
+        "  \"evictions_observed\": {},\n",
+        stats.evictions_observed
+    ));
+    out.push_str(&format!(
+        "  \"chaos_unanswered\": {},\n",
+        stats.chaos_unanswered
+    ));
     out.push_str(&format!("  \"wall_secs\": {:.3},\n", stats.wall_secs));
     out.push_str(&format!("  \"qps\": {:.1},\n", stats.qps()));
     out.push_str(&format!(
@@ -52,6 +66,11 @@ mod tests {
             tc_retries: 1,
             wire_timeouts: 0,
             mismatches: 0,
+            chaos_injected: 4,
+            shed_replies: 2,
+            shed_retries: 1,
+            evictions_observed: 3,
+            chaos_unanswered: 0,
             outcomes,
             latencies_us: vec![100, 200, 300, 400],
             wall_secs: 2.0,
@@ -62,5 +81,7 @@ mod tests {
         assert!(json.contains("\"qps\": 5.0"));
         assert!(json.contains("\"noerror\": 9"));
         assert!(json.contains("\"latency_p50_us\": 200"));
+        assert!(json.contains("\"chaos_injected\": 4"));
+        assert!(json.contains("\"evictions_observed\": 3"));
     }
 }

@@ -275,6 +275,10 @@ pub mod lane {
     /// Per-carrier serving-plane query-mix stream (loadgen scripts). A
     /// dedicated lane so live serving never perturbs campaign replay.
     pub const SERVE: u64 = 6;
+    /// Per-carrier wire-chaos stream (loadgen adversarial mutations:
+    /// bit-flips, garbage datagrams, floods, TCP frame abuse). A dedicated
+    /// lane so enabling chaos never perturbs the scripted query mix.
+    pub const WIRE_CHAOS: u64 = 7;
 }
 
 /// Derives an independent seed for `(lane, index)` from the master seed

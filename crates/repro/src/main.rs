@@ -93,7 +93,9 @@ fn parse_args() -> Result<Args, String> {
     let mut qps = None;
     let mut miss_per_mille = 50u32;
     let mut profile_out = None;
+    let mut metrics_out = None;
     let mut verify = true;
+    let mut chaos = loadgen::ChaosProfile::Off;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -182,6 +184,16 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--profile-out needs a path")?,
                 ));
             }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a path")?,
+                ));
+            }
+            "--chaos" => {
+                let name = it.next().ok_or("--chaos needs off|mild|stress")?;
+                chaos = loadgen::ChaosProfile::parse(&name)
+                    .ok_or(format!("unknown chaos profile '{name}' (off|mild|stress)"))?;
+            }
             "--no-verify" => verify = false,
             "--help" | "-h" => {
                 return Err("usage: repro [artifact-ids|all] [--scale quick|standard|full] [--seed N] [--out DIR] [--threads N] [--fault-profile none|cellular|stress] [--queue heap|wheel] [--metrics] [--no-metrics] [--progress] [--quiet]".into());
@@ -199,7 +211,9 @@ fn parse_args() -> Result<Args, String> {
         qps,
         miss_per_mille,
         profile_out,
+        metrics_out,
         verify,
+        chaos,
         quiet,
     };
     Ok(Args {

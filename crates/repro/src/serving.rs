@@ -10,7 +10,7 @@
 
 use cdns::measure::WorldConfig;
 use cdns::obs::host::{Profiler, Stage};
-use loadgen::{build_script, render_profile_json, DriverConfig, MixConfig};
+use loadgen::{build_script, render_profile_json, ChaosProfile, DriverConfig, MixConfig};
 use serve::DnsServer;
 use std::fs;
 use std::net::Ipv4Addr;
@@ -31,8 +31,12 @@ pub struct ServeArgs {
     pub miss_per_mille: u32,
     /// Where to write the soak profile JSON (None = skip).
     pub profile_out: Option<PathBuf>,
+    /// Where to write the server's counter registry as JSON (None = skip).
+    pub metrics_out: Option<PathBuf>,
     /// Replay the wire transcript into a ground-truth core (soak mode).
     pub verify: bool,
+    /// Wire-chaos profile the load generator interleaves (soak mode).
+    pub chaos: ChaosProfile,
     /// Silence stderr reporting.
     pub quiet: bool,
 }
@@ -95,8 +99,14 @@ pub fn run_serve(config: WorldConfig, args: &ServeArgs) -> i32 {
 
     let report = server.stop();
     println!(
-        "serve: answered {} queries ({} undecodable, {} engine events)",
-        report.answered, report.errors, report.events
+        "serve: answered {} queries ({} rejected, {} dropped, {} shed, {} evicted, {} drained, {} engine events)",
+        report.answered,
+        report.rejected,
+        report.errors,
+        report.shed,
+        report.evicted,
+        report.drained,
+        report.events
     );
     print!("{}", report.registry.render_table("serve vitals"));
     if !args.quiet {
@@ -125,12 +135,13 @@ pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
     prof.record(bind_stage.end());
     if !args.quiet {
         eprintln!(
-            "repro soak: {} carriers up; scripting {} queries (miss {}/1000, qps {})",
+            "repro soak: {} carriers up; scripting {} queries (miss {}/1000, qps {}, chaos {})",
             eps.carriers.len(),
             args.queries,
             args.miss_per_mille,
             args.qps
                 .map_or_else(|| "unpaced".to_string(), |q| q.to_string()),
+            args.chaos.label(),
         );
     }
 
@@ -148,6 +159,7 @@ pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
     let cfg = DriverConfig {
         qps: args.qps,
         verify: args.verify,
+        chaos: args.chaos,
     };
     let stats = match loadgen::run(&eps, &script, &cfg) {
         Ok(s) => s,
@@ -171,6 +183,16 @@ pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
             eprintln!("repro soak: cannot write {}: {e}", path.display());
         }
     }
+    if let Some(path) = &args.metrics_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = fs::write(path, report.registry.to_json()) {
+            eprintln!("repro soak: cannot write {}: {e}", path.display());
+        }
+    }
 
     println!(
         "soak: {} scripted, {} answered, {} tc-retries, {} wire-timeouts, {} mismatches",
@@ -180,6 +202,21 @@ pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
         stats.wire_timeouts,
         stats.mismatches
     );
+    if args.chaos != ChaosProfile::Off {
+        println!(
+            "soak: chaos {}: {} injected, {} shed replies ({} retries), {} hostile conns evicted, {} chaos sends unanswered",
+            args.chaos.label(),
+            stats.chaos_injected,
+            stats.shed_replies,
+            stats.shed_retries,
+            stats.evictions_observed,
+            stats.chaos_unanswered
+        );
+        println!(
+            "soak: server saw {} rejected, {} typed drops, {} shed, {} evicted, {} drained",
+            report.rejected, report.errors, report.shed, report.evicted, report.drained
+        );
+    }
     println!(
         "soak: {:.0} q/s wall, p50 {} us, p99 {} us; server answered {} ({} engine events)",
         stats.qps(),
@@ -200,12 +237,27 @@ pub fn run_soak(config: WorldConfig, args: &ServeArgs) -> i32 {
     }
     if !args.quiet {
         eprintln!("repro soak: host-plane profile (loadgen)\n{profile}");
+        eprint!("{}", report.registry.render_table("serve vitals"));
         let text = prof.report();
         if !text.is_empty() {
             eprint!("repro soak: host-plane profile\n{text}");
         }
     }
 
+    if report.panicked {
+        eprintln!("repro soak: server bridge panicked");
+        return 1;
+    }
+    // Zero lost well-formed answers: every scripted query must complete.
+    if stats.answered != script.total() {
+        eprintln!(
+            "repro soak: {} scripted queries lost ({} answered of {})",
+            script.total() - stats.answered,
+            stats.answered,
+            script.total()
+        );
+        return 1;
+    }
     if stats.mismatches > 0 || stats.answered == 0 {
         return 1;
     }

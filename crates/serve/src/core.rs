@@ -1,12 +1,20 @@
 //! The serving core: a deterministic wire-query → wire-answer function
 //! over the simulated world. Everything socket-shaped lives elsewhere —
 //! this module never reads the wall clock, so a second core built from the
-//! same [`WorldConfig`] and fed the same per-carrier query sequence
-//! produces byte-identical answers (the ground-truth cross-check).
+//! same [`WorldConfig`] and fed the same per-carrier input sequence
+//! produces byte-identical results (the ground-truth cross-check).
+//!
+//! Hostile-wire contract: [`ServeCore::handle`] accepts *arbitrary bytes*
+//! and always returns either an encoded reply or a typed drop reason —
+//! never a panic. Rejections (FORMERR, NOTIMP, silent drops) are pure
+//! functions of the input bytes and touch no sim state, so a ground-truth
+//! replica replaying the same sequence stays byte-identical even when the
+//! sequence is interleaved with garbage.
 
 use dnssim::{resolve_tcp, resolve_with, ClientPolicy};
+use dnswire::edns::CLASSIC_UDP_LIMIT;
 use dnswire::error::WireError;
-use dnswire::message::{Header, Message};
+use dnswire::message::{Header, Message, MessageView, Precheck, Rcode};
 use dnswire::rdata::RecordType;
 use measure::{build_world, World, WorldConfig};
 use obs::Registry;
@@ -33,32 +41,116 @@ impl Transport {
     }
 }
 
-/// Why a wire query could not be answered.
-#[derive(Debug)]
-pub enum ServeError {
-    /// The datagram/frame is not a decodable DNS message.
-    Decode(WireError),
-    /// The message decoded but carries no question.
-    NoQuestion,
-    /// The carrier index is outside the world's shard range.
+/// Why a wire input earned no reply at all. Every variant is a deliberate,
+/// counted decision — nothing is dropped by accident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// Shorter than a 12-byte DNS header: no transaction id to echo, so
+    /// no reply can be attributed (answering would aid spoofing anyway).
+    TooShort(usize),
+    /// QR bit set: a stray or reflected *response*. Answering responses
+    /// is how reflection loops start — drop.
+    StrayResponse,
+    /// The carrier index is outside the world's shard range, or the shard
+    /// has no devices to resolve as.
     BadCarrier(usize),
     /// The sim answered but the reply failed to encode (never expected;
     /// surfaced instead of panicking in the serving loop).
     Encode(WireError),
 }
 
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl DropReason {
+    /// Stable label for the `serve.dropped` counter.
+    pub fn label(&self) -> &'static str {
         match self {
-            ServeError::Decode(e) => write!(f, "undecodable query: {e:?}"),
-            ServeError::NoQuestion => write!(f, "query carries no question"),
-            ServeError::BadCarrier(i) => write!(f, "no carrier shard {i}"),
-            ServeError::Encode(e) => write!(f, "reply failed to encode: {e:?}"),
+            DropReason::TooShort(_) => "short",
+            DropReason::StrayResponse => "stray-response",
+            DropReason::BadCarrier(_) => "bad-carrier",
+            DropReason::Encode(_) => "encode",
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+/// Outcome of [`ServeCore::handle`]: an encoded wire reply, or a typed
+/// reason the input was dropped without one.
+#[derive(Debug)]
+pub enum Served {
+    /// Send these bytes back to the querier.
+    Reply(Vec<u8>),
+    /// Send nothing; the reason is counted and reportable.
+    Drop(DropReason),
+}
+
+impl Served {
+    /// The reply bytes, if any.
+    pub fn into_reply(self) -> Option<Vec<u8>> {
+        match self {
+            Served::Reply(b) => Some(b),
+            Served::Drop(_) => None,
+        }
+    }
+}
+
+/// Pure wire-shape classification: what the serving plane owes the sender
+/// before any resolver work happens. Shared by the live bridge (to decide
+/// whether admission control applies), the core (to reject), and the
+/// chaos driver (to predict the server's reaction) — one function, so
+/// they can never disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireClass {
+    /// A single-question QUERY: resolve it (and meter it).
+    WellFormed,
+    /// Malformed but attributable: answer a header-only reply carrying
+    /// this rcode (FORMERR or NOTIMP).
+    Reject(Rcode),
+    /// Not answerable at all (too short, or a stray response).
+    Silent(DropReason),
+}
+
+/// Classifies arbitrary wire bytes. Pure: no allocation, no sim state.
+// detlint: hot
+pub fn classify(query: &[u8]) -> WireClass {
+    let Ok(view) = MessageView::new(query) else {
+        return WireClass::Silent(DropReason::TooShort(query.len()));
+    };
+    match view.precheck() {
+        Precheck::Query => WireClass::WellFormed,
+        Precheck::Response => WireClass::Silent(DropReason::StrayResponse),
+        verdict => match verdict.reject_rcode() {
+            Some(rc) => WireClass::Reject(rc),
+            None => WireClass::Silent(DropReason::StrayResponse),
+        },
+    }
+}
+
+/// A header-only (exactly 12 bytes) control reply: echoes the transaction
+/// id, opcode, and RD bit, sets QR, and carries `rcode`. Used for FORMERR
+/// / NOTIMP rejections and for admission-control REFUSED. Header-only is
+/// deliberate: the sim plane always echoes the question in its replies,
+/// so a 12-byte REFUSED is unambiguously "shed by the front end" to a
+/// verifying client.
+pub fn control_reply(query: &[u8], rcode: Rcode) -> Option<Vec<u8>> {
+    let view = MessageView::new(query).ok()?;
+    let mut hi: u8 = 0x80 | (view.opcode().code() << 3);
+    if view.recursion_desired() {
+        hi |= 0x01;
+    }
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&view.id().to_be_bytes());
+    out.push(hi);
+    out.push(rcode.code());
+    out.extend_from_slice(&[0u8; 8]);
+    Some(out)
+}
+
+/// True when `reply` is a front-end shed marker: a header-only REFUSED.
+/// The resolver path never produces one (sim replies echo the question),
+/// so clients can use this to tell "shed before resolution" apart from
+/// any resolver-generated rcode.
+pub fn is_shed_reply(reply: &[u8]) -> bool {
+    reply.len() == 12
+        && MessageView::new(reply).is_ok_and(|v| v.is_response() && v.rcode() == Rcode::Refused)
+}
 
 /// The deterministic serving core. One instance serves all carriers; each
 /// wire query is attributed to a carrier (the socket it arrived on) and
@@ -109,22 +201,69 @@ impl ServeCore {
         self.world.shards[shard].devices.len()
     }
 
-    /// Answers one wire query for `shard`, returning the encoded reply.
+    /// Handles one wire input for `shard`: arbitrary bytes in, an encoded
+    /// reply or a typed drop out. Never panics.
     ///
-    /// Deterministic: the answer depends only on the construction config
-    /// and the sequence of `(transport, query)` calls made against this
-    /// shard so far — never on wall time or cross-shard interleaving.
-    pub fn answer(
-        &mut self,
-        shard: usize,
-        transport: Transport,
-        query: &[u8],
-    ) -> Result<Vec<u8>, ServeError> {
-        if shard >= self.world.shards.len() {
-            return Err(ServeError::BadCarrier(shard));
+    /// Deterministic, and — the property the ground-truth check rests on —
+    /// *sim state advances only for well-formed queries*: every rejection
+    /// is a pure function of the input bytes, so interleaving garbage into
+    /// a replayed sequence cannot desync the well-formed answers.
+    pub fn handle(&mut self, shard: usize, transport: Transport, query: &[u8]) -> Served {
+        match classify(query) {
+            WireClass::Silent(reason) => {
+                self.registry
+                    .inc("serve.dropped", &[("reason", reason.label())]);
+                Served::Drop(reason)
+            }
+            WireClass::Reject(rcode) => {
+                if rcode == Rcode::NotImp {
+                    self.registry.inc("serve.notimp", &[("cause", "precheck")]);
+                } else {
+                    self.registry.inc("serve.formerr", &[("cause", "precheck")]);
+                }
+                match control_reply(query, rcode) {
+                    Some(bytes) => Served::Reply(bytes),
+                    // Unreachable: classify() only rejects ≥12-byte inputs.
+                    None => Served::Drop(DropReason::TooShort(query.len())),
+                }
+            }
+            WireClass::WellFormed => {
+                // The view precheck passed but the full message can still
+                // be malformed (bad record sections, trailing bytes):
+                // that, too, is FORMERR territory and must not touch the
+                // sim.
+                let msg = match Message::decode(query) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        self.registry.inc("serve.formerr", &[("cause", "decode")]);
+                        return match control_reply(query, Rcode::FormErr) {
+                            Some(bytes) => Served::Reply(bytes),
+                            None => Served::Drop(DropReason::TooShort(query.len())),
+                        };
+                    }
+                };
+                self.resolve(shard, transport, &msg)
+            }
         }
-        let msg = Message::decode(query).map_err(ServeError::Decode)?;
-        let question = msg.questions.first().ok_or(ServeError::NoQuestion)?;
+    }
+
+    /// Resolves a fully decoded single-question query through the sim.
+    fn resolve(&mut self, shard: usize, transport: Transport, msg: &Message) -> Served {
+        if shard >= self.world.shards.len() {
+            self.registry.inc(
+                "serve.dropped",
+                &[("reason", DropReason::BadCarrier(shard).label())],
+            );
+            return Served::Drop(DropReason::BadCarrier(shard));
+        }
+        let question = match msg.questions.first() {
+            Some(q) => q,
+            // Unreachable behind classify(), kept for direct callers.
+            None => {
+                self.registry.inc("serve.formerr", &[("cause", "precheck")]);
+                return Served::Drop(DropReason::StrayResponse);
+            }
+        };
         let qname = question.qname.clone();
         let qtype = question.qtype;
         let wire_id = msg.header.id;
@@ -133,7 +272,11 @@ impl ServeCore {
         let shard_ref = &mut self.world.shards[shard];
         let device_count = shard_ref.devices.len();
         if device_count == 0 {
-            return Err(ServeError::BadCarrier(shard));
+            self.registry.inc(
+                "serve.dropped",
+                &[("reason", DropReason::BadCarrier(shard).label())],
+            );
+            return Served::Drop(DropReason::BadCarrier(shard));
         }
         let device = &shard_ref.devices[self.cursors[shard] % device_count];
         self.cursors[shard] += 1;
@@ -170,7 +313,40 @@ impl ServeCore {
             None => servfail(wire_id, &qname, qtype),
         };
         reply.header.id = wire_id;
-        reply.encode().map_err(ServeError::Encode)
+        let bytes = match reply.encode() {
+            Ok(b) => b,
+            Err(e) => {
+                let reason = DropReason::Encode(e);
+                self.registry
+                    .inc("serve.dropped", &[("reason", reason.label())]);
+                return Served::Drop(reason);
+            }
+        };
+        // Classic UDP policy, matching `dnssim`'s authority exactly: the
+        // reply must fit the querier's advertised EDNS payload size —
+        // or 512 bytes when none was advertised — else all records drop
+        // and TC tells the client to retry over TCP (RFC 1035 §4.2.1).
+        if transport == Transport::Udp {
+            let limit = msg
+                .edns_udp_size()
+                .map(|s| s as usize)
+                .unwrap_or(CLASSIC_UDP_LIMIT)
+                .max(CLASSIC_UDP_LIMIT);
+            if bytes.len() > limit {
+                reply.truncate_for(limit);
+                self.registry.inc("serve.truncated", &[]);
+                return match reply.encode() {
+                    Ok(b) => Served::Reply(b),
+                    Err(e) => {
+                        let reason = DropReason::Encode(e);
+                        self.registry
+                            .inc("serve.dropped", &[("reason", reason.label())]);
+                        Served::Drop(reason)
+                    }
+                };
+            }
+        }
+        Served::Reply(bytes)
     }
 
     /// Total engine events dispatched across all shards (soak reporting).
@@ -195,7 +371,16 @@ fn servfail(id: u16, qname: &dnswire::name::DnsName, qtype: RecordType) -> Messa
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dnssim::{AuthoritativeServer, Zone};
     use dnswire::builder::QueryBuilder;
+    use dnswire::message::Opcode;
+    use dnswire::name::DnsName;
+    use dnswire::rdata::RData;
+    use netsim::engine::{ServiceCtx, UdpService};
+    use netsim::time::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
 
     fn quick_core() -> ServeCore {
         ServeCore::new(WorldConfig::quick(7))
@@ -210,11 +395,18 @@ mod tests {
         q.encode().unwrap()
     }
 
+    fn reply_of(served: Served) -> Vec<u8> {
+        match served {
+            Served::Reply(b) => b,
+            Served::Drop(r) => panic!("expected a reply, got drop: {r:?}"),
+        }
+    }
+
     #[test]
     fn answers_echo_the_wire_id_and_question() {
         let mut core = quick_core();
         let query = query_bytes(0xBEEF, "m.facebook.com");
-        let reply = core.answer(0, Transport::Udp, &query).unwrap();
+        let reply = reply_of(core.handle(0, Transport::Udp, &query));
         let msg = Message::decode(&reply).unwrap();
         assert_eq!(msg.header.id, 0xBEEF);
         assert!(msg.header.flags.response);
@@ -233,25 +425,197 @@ mod tests {
         {
             let q = query_bytes(i as u16, name);
             for shard in 0..a.carrier_count().min(2) {
-                let ra = a.answer(shard, Transport::Udp, &q).unwrap();
-                let rb = b.answer(shard, Transport::Udp, &q).unwrap();
+                let ra = reply_of(a.handle(shard, Transport::Udp, &q));
+                let rb = reply_of(b.handle(shard, Transport::Udp, &q));
                 assert_eq!(ra, rb, "shard {shard} answer diverged for {name}");
             }
         }
     }
 
     #[test]
-    fn garbage_and_empty_queries_are_typed_errors() {
+    fn rejections_do_not_touch_sim_state() {
+        // Two cores: one sees garbage interleaved with real queries, the
+        // other only the real queries. Answers must stay byte-identical —
+        // the whole hostile-wire replay contract in one assertion.
+        let mut dirty = quick_core();
+        let mut clean = quick_core();
+        let garbage: &[&[u8]] = &[
+            b"",
+            b"\x00",
+            b"not a dns message at all",
+            &[0u8; 12],  // header-only query, QDCOUNT=0 → FORMERR
+            &[0xFF; 40], // QR set → stray response, dropped
+            &[
+                0, 1, 0x08, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1, b'x', 0, 0, 1, 0, 1,
+            ], // IQUERY
+        ];
+        for (i, name) in ["m.yelp.com", "t.co", "m.espn.go.com"].iter().enumerate() {
+            for g in garbage {
+                let _ = dirty.handle(0, Transport::Udp, g);
+            }
+            let q = query_bytes(i as u16, name);
+            let rd = reply_of(dirty.handle(0, Transport::Udp, &q));
+            let rc = reply_of(clean.handle(0, Transport::Udp, &q));
+            assert_eq!(rd, rc, "garbage perturbed the answer for {name}");
+        }
+        assert!(dirty.registry.counter_total("serve.formerr") > 0);
+        assert!(dirty.registry.counter_total("serve.notimp") > 0);
+        assert!(dirty.registry.counter_total("serve.dropped") > 0);
+    }
+
+    #[test]
+    fn malformed_inputs_get_typed_rcodes_or_drops() {
         let mut core = quick_core();
+
+        // Too short: typed silent drop.
+        match core.handle(0, Transport::Udp, b"not dns") {
+            Served::Drop(DropReason::TooShort(7)) => {}
+            other => panic!("want TooShort drop, got {other:?}"),
+        }
+
+        // QDCOUNT=0: FORMERR echoing the id.
+        let headeronly = [0xAB, 0xCD, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let reply = reply_of(core.handle(0, Transport::Udp, &headeronly));
+        let view = MessageView::new(&reply).unwrap();
+        assert_eq!(view.id(), 0xABCD);
+        assert!(view.is_response());
+        assert_eq!(view.rcode(), Rcode::FormErr);
+
+        // IQUERY opcode: NOTIMP echoing id and opcode.
+        let mut iquery = query_bytes(0x1234, "m.yelp.com");
+        iquery[2] = (iquery[2] & !0x78) | (Opcode::IQuery.code() << 3);
+        let reply = reply_of(core.handle(0, Transport::Udp, &iquery));
+        let view = MessageView::new(&reply).unwrap();
+        assert_eq!(view.id(), 0x1234);
+        assert_eq!(view.opcode(), Opcode::IQuery);
+        assert_eq!(view.rcode(), Rcode::NotImp);
+
+        // Stray response: silent drop.
+        let mut stray = query_bytes(9, "m.yelp.com");
+        stray[2] |= 0x80;
         assert!(matches!(
-            core.answer(0, Transport::Udp, b"not dns"),
-            Err(ServeError::Decode(_))
+            core.handle(0, Transport::Udp, &stray),
+            Served::Drop(DropReason::StrayResponse)
         ));
+
+        // Bad shard: typed drop.
         let bad_shard = core.carrier_count();
         let q = query_bytes(1, "m.yelp.com");
         assert!(matches!(
-            core.answer(bad_shard, Transport::Udp, &q),
-            Err(ServeError::BadCarrier(_))
+            core.handle(bad_shard, Transport::Udp, &q),
+            Served::Drop(DropReason::BadCarrier(_))
         ));
+    }
+
+    #[test]
+    fn shed_reply_is_header_only_refused_and_unambiguous() {
+        let q = query_bytes(0x7777, "m.yelp.com");
+        let shed = control_reply(&q, Rcode::Refused).unwrap();
+        assert_eq!(shed.len(), 12);
+        assert!(is_shed_reply(&shed));
+        let view = MessageView::new(&shed).unwrap();
+        assert_eq!(view.id(), 0x7777);
+        assert!(view.recursion_desired());
+
+        // A real resolver answer is never mistaken for a shed marker.
+        let mut core = quick_core();
+        let answer = reply_of(core.handle(0, Transport::Udp, &q));
+        assert!(!is_shed_reply(&answer));
+        // Nor is a FORMERR rejection (different rcode).
+        assert!(!is_shed_reply(&control_reply(&q, Rcode::FormErr).unwrap()));
+    }
+
+    /// Satellite A/B check: the serving core's UDP truncation must match
+    /// the sim plane's classic policy (`dnssim`'s authority) exactly —
+    /// same limit arithmetic, same all-or-nothing record drop, same TC.
+    #[test]
+    fn udp_truncation_matches_dnssim_classic_policy() {
+        // A zone whose TXT answer cannot fit 512 bytes.
+        let origin = DnsName::parse("big.example").unwrap();
+        let mut zone = Zone::new(origin.clone());
+        let name = origin.child("fat").unwrap();
+        for i in 0..8 {
+            zone.add(dnswire::message::ResourceRecord::new(
+                name.clone(),
+                60,
+                RData::Txt(vec![format!("{i:0>200}")]),
+            ));
+        }
+        let mut authority = AuthoritativeServer::new();
+        authority.add_zone(zone);
+
+        // Classic (no-EDNS) query for the fat name.
+        let query = QueryBuilder::new(0x4242, "fat.big.example", RecordType::Txt)
+            .recursion_desired(true)
+            .build()
+            .unwrap();
+        let wire = query.encode().unwrap();
+
+        // What the sim authority puts on a classic UDP path.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = ServiceCtx {
+            now: SimTime::from_micros(1_000),
+            local_addr: Ipv4Addr::new(198, 51, 100, 53),
+            rng: &mut rng,
+            wake_after: None,
+        };
+        let from = Ipv4Addr::new(198, 51, 100, 7);
+        let out = authority.handle(&mut ctx, from, 4096, &wire);
+        assert_eq!(out.len(), 1);
+        let sim_reply = out[0].payload.clone();
+        let sim_msg = Message::decode(&sim_reply).unwrap();
+        assert!(sim_msg.header.flags.truncated, "sim must truncate >512");
+        assert!(sim_msg.answers.is_empty());
+        assert!(sim_reply.len() <= CLASSIC_UDP_LIMIT);
+
+        // What the serving core does to the same oversized answer on the
+        // same classic query: the identical clamp — limit computed from
+        // the wire query, `truncate_for`, re-encode — as in
+        // `ServeCore::resolve`. Byte-for-byte agreement required.
+        let q_msg = Message::decode(&wire).unwrap();
+        let limit = q_msg
+            .edns_udp_size()
+            .map(|s| s as usize)
+            .unwrap_or(CLASSIC_UDP_LIMIT)
+            .max(CLASSIC_UDP_LIMIT);
+        assert_eq!(limit, CLASSIC_UDP_LIMIT, "no EDNS → classic limit");
+        let mut fat = sim_msg.clone();
+        fat.header.flags.truncated = false;
+        for i in 0..8 {
+            fat.answers.push(dnswire::message::ResourceRecord::new(
+                name.clone(),
+                60,
+                RData::Txt(vec![format!("{i:0>200}")]),
+            ));
+        }
+        fat.truncate_for(limit);
+        let core_reply = fat.encode().unwrap();
+        assert_eq!(
+            core_reply, sim_reply,
+            "serve-plane clamp diverged from dnssim classic policy"
+        );
+    }
+
+    #[test]
+    fn udp_answers_fit_the_advertised_payload_size() {
+        // End-to-end through the core: every UDP reply to a classic query
+        // fits 512 bytes or has TC set with all records dropped.
+        let mut core = quick_core();
+        for (i, entry) in ["m.facebook.com", "m.yelp.com", "www.buzzfeed.com"]
+            .iter()
+            .enumerate()
+        {
+            let classic = QueryBuilder::new(i as u16, *entry, RecordType::A)
+                .recursion_desired(true)
+                .build()
+                .unwrap()
+                .encode()
+                .unwrap();
+            let reply = reply_of(core.handle(0, Transport::Udp, &classic));
+            assert!(
+                reply.len() <= CLASSIC_UDP_LIMIT,
+                "classic reply for {entry} exceeds 512 bytes"
+            );
+        }
     }
 }

@@ -25,12 +25,16 @@
 //! every answer must match byte-for-byte. The `loadgen` crate automates
 //! exactly that check.
 
+pub mod admit;
 pub mod clock;
 pub mod core;
 pub mod endpoints;
 pub mod server;
 
-pub use crate::core::{ServeCore, ServeError, Transport};
+pub use crate::admit::{Admission, AdmitConfig, ShedReason, Verdict};
+pub use crate::core::{
+    classify, control_reply, is_shed_reply, DropReason, ServeCore, Served, Transport, WireClass,
+};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use endpoints::{CarrierEndpoint, Endpoints};
 pub use measure::{FaultProfile, WorldConfig};

@@ -9,26 +9,57 @@
 //! injection sequence the core saw, and can replay it into a truth core.
 //! Cross-carrier interleaving is unconstrained and irrelevant: shards are
 //! independent engines.
+//!
+//! Hostile-wire posture: the bridge classifies every input before paying
+//! for sim work. Malformed inputs earn FORMERR/NOTIMP (or a typed silent
+//! drop) straight from the pure reject path; well-formed queries pass
+//! through [`Admission`] and may earn a header-only REFUSED when the
+//! carrier is over its inflight bound or token rate. TCP connections get
+//! per-connection defenses: an idle timeout, a max frame size, slow-read
+//! (slowloris) eviction, and a bounded pipeline buffer. On [`DnsServer::
+//! stop`] the bridge drains everything already enqueued before exiting,
+//! so in-flight queries complete and nothing is silently dropped.
 
-use crate::core::{ServeCore, Transport};
+use crate::admit::{Admission, AdmitConfig, Verdict};
+use crate::clock::{Clock, WallClock};
+use crate::core::{classify, control_reply, ServeCore, Served, Transport, WireClass};
 use crate::endpoints::{CarrierEndpoint, Endpoints};
 use dnssim::{frame, split_frame};
+use dnswire::message::Rcode;
 use measure::WorldConfig;
 use obs::Registry;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long blocking socket reads wait before re-checking the stop flag.
 const POLL: Duration = Duration::from_millis(50);
-/// Idle timeout on accepted TCP connections (a stalled client may hold
-/// its thread at most this long past the last byte).
-const TCP_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// TCP read poll interval: short, so connection deadlines are enforced
+/// promptly even while a peer dribbles nothing.
+const TCP_READ_POLL: Duration = Duration::from_millis(100);
+/// A connection with *no* buffered bytes may sit quiet this long before
+/// it is evicted (a well-behaved stub holds at most one exchange open).
+const TCP_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// A connection with a *partial frame* buffered must complete it within
+/// this deadline or be evicted — the slowloris defense: a writer cannot
+/// hold a thread by dribbling one byte per poll.
+const FRAME_DEADLINE: Duration = Duration::from_secs(1);
 /// Largest UDP query datagram we accept.
 const MAX_UDP_QUERY: usize = 4096;
+/// Largest TCP query frame we accept. DNS *queries* are small; a peer
+/// declaring more than this in its length prefix is evicted before we
+/// buffer a byte of the body (the 65,535 wire maximum is for answers).
+const MAX_TCP_FRAME: usize = 4096;
+/// Largest buffered backlog per connection (bounded pipelining): more
+/// unserved bytes than this and the connection is evicted as a flood.
+const MAX_CONN_BUF: usize = 16 * 1024;
+/// After stop, the bridge keeps serving whatever is still being enqueued
+/// until the channel stays quiet this long…
+const DRAIN_POLL: Duration = Duration::from_millis(100);
+/// …or this hard deadline elapses.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(3);
 
 enum Event {
     Udp {
@@ -44,16 +75,52 @@ enum Event {
     Shutdown,
 }
 
+/// TCP eviction tallies, bumped from per-connection threads and folded
+/// into the report registry at stop.
+#[derive(Debug, Default)]
+struct TcpGuards {
+    idle: AtomicU64,
+    slow_read: AtomicU64,
+    oversized: AtomicU64,
+    flood: AtomicU64,
+    bad_frame: AtomicU64,
+}
+
+impl TcpGuards {
+    fn counts(&self) -> [(&'static str, u64); 5] {
+        [
+            ("idle", self.idle.load(Ordering::SeqCst)),
+            ("slow-read", self.slow_read.load(Ordering::SeqCst)),
+            ("oversized", self.oversized.load(Ordering::SeqCst)),
+            ("flood", self.flood.load(Ordering::SeqCst)),
+            ("bad-frame", self.bad_frame.load(Ordering::SeqCst)),
+        ]
+    }
+}
+
 /// What the bridge thread hands back when the server stops.
 #[derive(Debug)]
 pub struct ServeReport {
-    /// Wire queries answered (UDP + TCP).
+    /// Wire queries resolved through the sim (UDP + TCP).
     pub answered: u64,
-    /// Wire queries dropped as undecodable.
+    /// Wire inputs dropped with a typed reason (too short, stray
+    /// response, bad shard) — counted, never accidental.
     pub errors: u64,
+    /// Malformed inputs answered FORMERR/NOTIMP without touching the sim.
+    pub rejected: u64,
+    /// Well-formed queries shed (REFUSED) by admission control.
+    pub shed: u64,
+    /// Queries served during the post-stop drain phase.
+    pub drained: u64,
+    /// TCP connections evicted by per-connection defenses.
+    pub evicted: u64,
     /// Engine events dispatched across all shards while serving.
     pub events: u64,
-    /// The core's sim-plane registry (queries, outcomes, sim latency).
+    /// True when the bridge thread died instead of reporting — any soak
+    /// that sees this must fail loudly.
+    pub panicked: bool,
+    /// The core's sim-plane registry (queries, outcomes, sim latency)
+    /// plus the server-plane counters (shed, evictions, drain).
     pub registry: Registry,
 }
 
@@ -63,9 +130,10 @@ pub struct DnsServer {
     endpoints: Endpoints,
     stop: Arc<AtomicBool>,
     answered: Arc<AtomicU64>,
+    guards: Arc<TcpGuards>,
     tx: mpsc::Sender<Event>,
-    bridge: JoinHandle<ServeReport>,
-    io_threads: Vec<JoinHandle<()>>,
+    bridge: std::thread::JoinHandle<ServeReport>,
+    io_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl DnsServer {
@@ -75,7 +143,22 @@ impl DnsServer {
         let core = ServeCore::new(config.clone());
         let stop = Arc::new(AtomicBool::new(false));
         let answered = Arc::new(AtomicU64::new(0));
+        let guards = Arc::new(TcpGuards::default());
         let (tx, rx) = mpsc::channel::<Event>();
+
+        // Per-shard backlog gauges: producers increment at enqueue, the
+        // bridge decrements at dequeue; the bridge reads them to shed.
+        let inflight: Arc<Vec<AtomicU64>> = Arc::new(
+            (0..core.carrier_count())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        );
+        let clock = WallClock::new();
+        let admission = Admission::new(
+            AdmitConfig::for_carrier(&config, avg_devices(&core)),
+            core.carrier_count(),
+            clock.now_us(),
+        );
 
         let mut carriers = Vec::new();
         let mut udp_socks = Vec::new();
@@ -97,26 +180,33 @@ impl DnsServer {
             udp_socks.push(udp);
             let utx = tx.clone();
             let ustop = Arc::clone(&stop);
+            let uinflight = Arc::clone(&inflight);
             io_threads.push(std::thread::spawn(move || {
-                udp_recv_loop(shard, udp_rx_sock, utx, ustop)
+                udp_recv_loop(shard, udp_rx_sock, utx, ustop, uinflight)
             }));
 
             let ttx = tx.clone();
             let tstop = Arc::clone(&stop);
+            let tinflight = Arc::clone(&inflight);
+            let tguards = Arc::clone(&guards);
             io_threads.push(std::thread::spawn(move || {
-                tcp_accept_loop(shard, tcp, ttx, tstop)
+                tcp_accept_loop(shard, tcp, ttx, tstop, tinflight, tguards)
             }));
         }
 
         let endpoints = Endpoints { config, carriers };
         let bstop = Arc::clone(&stop);
         let banswered = Arc::clone(&answered);
-        let bridge = std::thread::spawn(move || bridge_loop(core, udp_socks, rx, bstop, banswered));
+        let binflight = Arc::clone(&inflight);
+        let bridge = std::thread::spawn(move || {
+            bridge_loop(core, udp_socks, rx, bstop, banswered, binflight, admission)
+        });
 
         Ok(DnsServer {
             endpoints,
             stop,
             answered,
+            guards,
             tx,
             bridge,
             io_threads,
@@ -133,28 +223,62 @@ impl DnsServer {
         self.answered.load(Ordering::SeqCst)
     }
 
-    /// Stops the server: drains in-flight work, joins every thread, and
-    /// returns the final report.
+    /// Stops the server gracefully: quiesces the socket threads, lets the
+    /// bridge drain everything already enqueued (in-flight queries still
+    /// get their answers), joins every thread, and returns the report.
     pub fn stop(self) -> ServeReport {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the bridge even if no traffic is flowing.
-        let _ = self.tx.send(Event::Shutdown);
+        // Socket threads exit at their next poll tick; joining them first
+        // means no *new* UDP work arrives during the drain.
         for t in self.io_threads {
             let _ = t.join();
         }
-        match self.bridge.join() {
+        // Wake the bridge even if no traffic is flowing, then drop our
+        // sender so a fully-quiesced channel reads as disconnected.
+        let _ = self.tx.send(Event::Shutdown);
+        drop(self.tx);
+        let mut report = match self.bridge.join() {
             Ok(report) => report,
             Err(_) => ServeReport {
                 answered: self.answered.load(Ordering::SeqCst),
                 errors: 0,
+                rejected: 0,
+                shed: 0,
+                drained: 0,
+                evicted: 0,
                 events: 0,
+                panicked: true,
                 registry: Registry::default(),
             },
+        };
+        // Fold TCP eviction tallies (bumped on detached conn threads)
+        // into the final registry.
+        for (reason, n) in self.guards.counts() {
+            if n > 0 {
+                report
+                    .registry
+                    .inc_by("serve.conn_evicted", &[("reason", reason)], n);
+                report.evicted += n;
+            }
         }
+        report
     }
 }
 
-fn udp_recv_loop(shard: usize, sock: UdpSocket, tx: mpsc::Sender<Event>, stop: Arc<AtomicBool>) {
+/// Mean device population per shard (admission sizing).
+fn avg_devices(core: &ServeCore) -> usize {
+    let shards = core.carrier_count().max(1);
+    let total: usize = (0..shards).map(|s| core.carrier_devices(s)).sum();
+    total / shards
+}
+
+fn udp_recv_loop(
+    shard: usize,
+    sock: UdpSocket,
+    tx: mpsc::Sender<Event>,
+    stop: Arc<AtomicBool>,
+    inflight: Arc<Vec<AtomicU64>>,
+) {
     let mut buf = [0u8; MAX_UDP_QUERY];
     while !stop.load(Ordering::SeqCst) {
         match sock.recv_from(&mut buf) {
@@ -164,6 +288,7 @@ fn udp_recv_loop(shard: usize, sock: UdpSocket, tx: mpsc::Sender<Event>, stop: A
                     peer,
                     data: buf[..n].to_vec(),
                 };
+                inflight[shard].fetch_add(1, Ordering::SeqCst);
                 if tx.send(event).is_err() {
                     break;
                 }
@@ -179,15 +304,23 @@ fn tcp_accept_loop(
     listener: TcpListener,
     tx: mpsc::Sender<Event>,
     stop: Arc<AtomicBool>,
+    inflight: Arc<Vec<AtomicU64>>,
+    guards: Arc<TcpGuards>,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let ctx = tx.clone();
                 let cstop = Arc::clone(&stop);
-                // One thread per connection: TCP retries are rare (TC
-                // answers only), so this stays tiny even under soak.
-                std::thread::spawn(move || tcp_conn_loop(shard, stream, ctx, cstop));
+                let cinflight = Arc::clone(&inflight);
+                let cguards = Arc::clone(&guards);
+                // One thread per connection: TCP queries are rare (TC
+                // retries and chaos probes), so this stays tiny under
+                // soak — and the per-connection defenses below bound how
+                // long a hostile peer can hold its thread.
+                std::thread::spawn(move || {
+                    tcp_conn_loop(shard, stream, ctx, cstop, cinflight, cguards)
+                });
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(_) => break,
@@ -200,13 +333,31 @@ fn tcp_conn_loop(
     mut stream: TcpStream,
     tx: mpsc::Sender<Event>,
     stop: Arc<AtomicBool>,
+    inflight: Arc<Vec<AtomicU64>>,
+    guards: Arc<TcpGuards>,
 ) {
-    if stream.set_read_timeout(Some(TCP_READ_TIMEOUT)).is_err() {
+    if stream.set_read_timeout(Some(TCP_READ_POLL)).is_err() {
         return;
     }
     let mut buf = Vec::new();
     let mut chunk = [0u8; 2048];
+    let mut last_progress = Instant::now();
     while !stop.load(Ordering::SeqCst) {
+        // Bounded pipelining: a peer may not buffer more backlog than
+        // MAX_CONN_BUF unserved bytes.
+        if buf.len() > MAX_CONN_BUF {
+            guards.flood.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        // Frame-size cap, enforced from the length prefix alone so an
+        // oversized declaration is evicted before its body is buffered.
+        if buf.len() >= 2 {
+            let declared = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+            if declared > MAX_TCP_FRAME {
+                guards.oversized.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+        }
         // Serve every complete frame currently buffered.
         loop {
             match split_frame(&buf) {
@@ -214,6 +365,7 @@ fn tcp_conn_loop(
                     let data = payload.to_vec();
                     buf.drain(..consumed);
                     let (rtx, rrx) = mpsc::channel();
+                    inflight[shard].fetch_add(1, Ordering::SeqCst);
                     if tx
                         .send(Event::Tcp {
                             shard,
@@ -225,8 +377,10 @@ fn tcp_conn_loop(
                         return;
                     }
                     let Ok(reply) = rrx.recv() else { return };
-                    // An empty reply means the query was undecodable:
-                    // close, like a resolver dropping a garbage stream.
+                    // An empty reply marks a typed drop (stray response,
+                    // sub-header frame): close, like a resolver dropping
+                    // a garbage stream. FORMERR/NOTIMP/REFUSED are real
+                    // replies and keep the connection open.
                     if reply.is_empty() {
                         return;
                     }
@@ -234,72 +388,268 @@ fn tcp_conn_loop(
                     if stream.write_all(&framed).is_err() {
                         return;
                     }
+                    last_progress = Instant::now();
                 }
                 Ok(None) => break,
                 // Unrecoverable framing (zero-length prefix): drop the
                 // connection, mirroring the sim relay's typed rejection.
-                Err(_) => return,
+                Err(_) => {
+                    guards.bad_frame.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
             }
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // client closed
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_progress = Instant::now();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let quiet = last_progress.elapsed();
+                if !buf.is_empty() && quiet >= FRAME_DEADLINE {
+                    // Slowloris: a partial frame this stale never
+                    // completes honestly.
+                    guards.slow_read.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                if buf.is_empty() && quiet >= TCP_IDLE_TIMEOUT {
+                    guards.idle.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+            }
             Err(_) => return,
         }
     }
 }
 
+/// Per-event bridge bookkeeping shared between the live loop and the
+/// drain phase.
+struct BridgeState {
+    core: ServeCore,
+    udp_socks: Vec<UdpSocket>,
+    admission: Admission,
+    clock: WallClock,
+    answered: Arc<AtomicU64>,
+    inflight: Arc<Vec<AtomicU64>>,
+    errors: u64,
+    rejected: u64,
+    shed: u64,
+}
+
+impl BridgeState {
+    /// Serves one event end to end: classification, admission, core
+    /// handling, and the wire write.
+    fn serve(&mut self, event: Event) {
+        let (shard, data, via): (usize, Vec<u8>, Via) = match event {
+            Event::Udp { shard, peer, data } => (shard, data, Via::Udp(peer)),
+            Event::Tcp { shard, data, reply } => (shard, data, Via::Tcp(reply)),
+            Event::Shutdown => return,
+        };
+        // This event is leaving the queue; the load() below therefore
+        // reads the backlog *including* this event.
+        let depth = self
+            .inflight
+            .get(shard)
+            .map(|g| g.fetch_sub(1, Ordering::SeqCst))
+            .unwrap_or(0);
+
+        // Admission applies only to well-formed queries: rejects are
+        // answered from the pure path at negligible cost, so garbage
+        // cannot burn the tokens that meter real sim work.
+        if matches!(classify(&data), WireClass::WellFormed) {
+            if let Verdict::Shed(reason) = self.admission.admit(shard, self.clock.now_us(), depth) {
+                self.shed += 1;
+                self.core
+                    .registry
+                    .inc("serve.shed", &[("reason", reason.label())]);
+                if let Some(refused) = control_reply(&data, Rcode::Refused) {
+                    self.send(shard, via, refused);
+                }
+                return;
+            }
+        }
+
+        let transport = match via {
+            Via::Udp(_) => Transport::Udp,
+            Via::Tcp(_) => Transport::Tcp,
+        };
+        match self.core.handle(shard, transport, &data) {
+            Served::Reply(bytes) => {
+                if matches!(
+                    dnswire::message::MessageView::new(&bytes).map(|v| v.rcode()),
+                    Ok(Rcode::FormErr | Rcode::NotImp)
+                ) && bytes.len() == 12
+                {
+                    self.rejected += 1;
+                } else {
+                    self.answered.fetch_add(1, Ordering::SeqCst);
+                }
+                self.send(shard, via, bytes);
+            }
+            Served::Drop(_) => {
+                self.errors += 1;
+                // For TCP, an empty reply tells the conn thread to close.
+                if let Via::Tcp(reply) = via {
+                    let _ = reply.send(Vec::new());
+                }
+            }
+        }
+    }
+
+    fn send(&self, shard: usize, via: Via, bytes: Vec<u8>) {
+        match via {
+            Via::Udp(peer) => {
+                if let Some(sock) = self.udp_socks.get(shard) {
+                    let _ = sock.send_to(&bytes, peer);
+                }
+            }
+            Via::Tcp(reply) => {
+                let _ = reply.send(bytes);
+            }
+        }
+    }
+}
+
+enum Via {
+    Udp(SocketAddr),
+    Tcp(mpsc::Sender<Vec<u8>>),
+}
+
 fn bridge_loop(
-    mut core: ServeCore,
+    core: ServeCore,
     udp_socks: Vec<UdpSocket>,
     rx: mpsc::Receiver<Event>,
     stop: Arc<AtomicBool>,
     answered: Arc<AtomicU64>,
+    inflight: Arc<Vec<AtomicU64>>,
+    admission: Admission,
 ) -> ServeReport {
-    let mut errors = 0u64;
+    let mut state = BridgeState {
+        core,
+        udp_socks,
+        admission,
+        clock: WallClock::new(),
+        answered,
+        inflight,
+        errors: 0,
+        rejected: 0,
+        shed: 0,
+    };
     loop {
-        let event = match rx.recv_timeout(POLL) {
-            Ok(ev) => ev,
+        match rx.recv_timeout(POLL) {
+            Ok(Event::Shutdown) => break,
+            Ok(event) => state.serve(event),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                continue;
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        };
-        match event {
-            Event::Udp { shard, peer, data } => {
-                match core.answer(shard, Transport::Udp, &data) {
-                    Ok(reply) => {
-                        answered.fetch_add(1, Ordering::SeqCst);
-                        if let Some(sock) = udp_socks.get(shard) {
-                            let _ = sock.send_to(&reply, peer);
-                        }
-                    }
-                    // Undecodable datagrams are dropped silently, like a
-                    // real server; the counter still records them.
-                    Err(_) => errors += 1,
-                }
-            }
-            Event::Tcp { shard, data, reply } => match core.answer(shard, Transport::Tcp, &data) {
-                Ok(bytes) => {
-                    answered.fetch_add(1, Ordering::SeqCst);
-                    let _ = reply.send(bytes);
-                }
-                Err(_) => {
-                    errors += 1;
-                    let _ = reply.send(Vec::new());
-                }
-            },
-            Event::Shutdown => break,
         }
     }
+    // Graceful drain: keep serving whatever was already enqueued (or is
+    // still being finished by live TCP connection threads) until the
+    // channel goes quiet or the hard deadline passes. In-flight queries
+    // complete; nothing is silently dropped.
+    let drained = drain_remaining(&mut state, &rx);
+    if drained > 0 {
+        state
+            .core
+            .registry
+            .inc_by("serve.drain_completed", &[], drained);
+    }
     ServeReport {
-        answered: answered.load(Ordering::SeqCst),
-        errors,
-        events: core.total_events(),
-        registry: core.registry,
+        answered: state.answered.load(Ordering::SeqCst),
+        errors: state.errors,
+        rejected: state.rejected,
+        shed: state.shed,
+        drained,
+        evicted: 0, // folded in by stop() from the connection guards
+        events: state.core.total_events(),
+        panicked: false,
+        registry: state.core.registry,
+    }
+}
+
+/// Serves every event still reachable on `rx` until the channel stays
+/// quiet for [`DRAIN_POLL`] or [`DRAIN_DEADLINE`] elapses. Returns how
+/// many events were served in the drain phase.
+fn drain_remaining(state: &mut BridgeState, rx: &mpsc::Receiver<Event>) -> u64 {
+    let deadline = Instant::now() + DRAIN_DEADLINE;
+    let mut drained = 0u64;
+    while Instant::now() < deadline {
+        match rx.recv_timeout(DRAIN_POLL) {
+            Ok(Event::Shutdown) => continue,
+            Ok(event) => {
+                state.serve(event);
+                drained += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    drained
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_serves_everything_already_enqueued() {
+        let config = WorldConfig::quick(3);
+        let core = ServeCore::new(config.clone());
+        let carriers = core.carrier_count();
+        let answered = Arc::new(AtomicU64::new(0));
+        let inflight: Arc<Vec<AtomicU64>> =
+            Arc::new((0..carriers).map(|_| AtomicU64::new(0)).collect());
+        let clock = WallClock::new();
+        let admission = Admission::new(AdmitConfig::unthrottled(), carriers, clock.now_us());
+        let mut state = BridgeState {
+            core,
+            udp_socks: Vec::new(),
+            admission,
+            clock,
+            answered: Arc::clone(&answered),
+            inflight: Arc::clone(&inflight),
+            errors: 0,
+            rejected: 0,
+            shed: 0,
+        };
+
+        // Enqueue three TCP queries and a shutdown marker, then drain.
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut rxs = Vec::new();
+        let wire = {
+            let mut q =
+                dnswire::builder::QueryBuilder::new(5, "m.yelp.com", dnswire::RecordType::A)
+                    .recursion_desired(true)
+                    .build()
+                    .unwrap();
+            q.advertise_udp_size(dnswire::edns::DEFAULT_UDP_PAYLOAD_SIZE);
+            q.encode().unwrap()
+        };
+        for _ in 0..3 {
+            let (rtx, rrx) = mpsc::channel();
+            inflight[0].fetch_add(1, Ordering::SeqCst);
+            tx.send(Event::Tcp {
+                shard: 0,
+                data: wire.clone(),
+                reply: rtx,
+            })
+            .unwrap();
+            rxs.push(rrx);
+        }
+        tx.send(Event::Shutdown).unwrap();
+        drop(tx);
+
+        let drained = drain_remaining(&mut state, &rx);
+        assert_eq!(drained, 3, "every enqueued query must be served");
+        assert_eq!(answered.load(Ordering::SeqCst), 3);
+        for rrx in rxs {
+            let reply = rrx.recv().expect("drained reply");
+            assert!(!reply.is_empty(), "drained queries still get answers");
+        }
     }
 }

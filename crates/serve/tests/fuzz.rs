@@ -1,0 +1,143 @@
+//! Hostile-wire fuzzing of the serving core: for *arbitrary* input bytes,
+//! [`ServeCore::handle`] must never panic and must always return either a
+//! decodable wire reply or a typed drop reason. One long-lived core takes
+//! every case — sim state advancing under garbage is part of the property
+//! (a poisoned input must not wedge the next query either).
+
+use dnswire::message::MessageView;
+use serve::{classify, ServeCore, Served, Transport, WireClass, WorldConfig};
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+fn core() -> &'static Mutex<ServeCore> {
+    static CORE: OnceLock<Mutex<ServeCore>> = OnceLock::new();
+    CORE.get_or_init(|| Mutex::new(ServeCore::new(WorldConfig::quick(97))))
+}
+
+/// The invariant every input must satisfy: a reply that parses as a
+/// response echoing a sane header, or a typed drop — never a panic, never
+/// unattributable bytes.
+fn check(core: &mut ServeCore, shard: usize, transport: Transport, input: &[u8]) {
+    let class = classify(input);
+    match core.handle(shard, transport, input) {
+        Served::Reply(bytes) => {
+            let view = MessageView::new(&bytes).expect("replies must parse");
+            assert!(view.is_response(), "replies must set QR");
+            if input.len() >= 2 {
+                assert_eq!(
+                    view.id(),
+                    u16::from_be_bytes([input[0], input[1]]),
+                    "replies must echo the transaction id"
+                );
+            }
+            assert!(
+                !matches!(class, WireClass::Silent(_)),
+                "a silent classification must never earn a reply"
+            );
+        }
+        Served::Drop(reason) => {
+            // Typed, labeled, and consistent with the pure classifier for
+            // in-range shards.
+            assert!(!reason.label().is_empty());
+            if shard < core.carrier_count() {
+                assert!(
+                    matches!(class, WireClass::Silent(_)),
+                    "in-range drops must come from the silent class, got {class:?} for {reason:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Hand-picked adversarial corpus: the shapes RFC 1035 parsers
+/// historically get wrong. Pointer loops and oversized names mirror the
+/// dnswire proptest corpus; the rest target the serve-plane precheck.
+#[test]
+fn seeded_corpus_never_panics_and_always_types() {
+    let mut corpus: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        vec![0x00],
+        b"short".to_vec(),
+        vec![0u8; 11],                            // one byte shy of a header
+        vec![0u8; 12],                            // QDCOUNT=0
+        vec![0xFF; 12],                           // QR set, all flags lit
+        vec![0xFF; 512],                          // all-ones datagram
+        vec![0, 7, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0], // QDCOUNT=1, no question bytes
+        vec![0, 8, 1, 0, 0, 2, 0, 0, 0, 0, 0, 0], // QDCOUNT=2
+        // Self-referencing compression pointer in the qname.
+        vec![0, 9, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1],
+        // Pointer one past itself (forward reference).
+        vec![0, 10, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0D, 0, 1, 0, 1],
+        // Truncated label: claims 63 octets, provides one.
+        vec![0, 11, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 63, b'x'],
+    ];
+    // A name whose expansion exceeds 255 octets via chained 63-byte labels.
+    let mut oversized = vec![0, 12, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+    for _ in 0..5 {
+        oversized.push(63);
+        oversized.extend_from_slice(&[b'a'; 63]);
+    }
+    oversized.extend_from_slice(&[0, 0, 1, 0, 1]);
+    corpus.push(oversized);
+    // A valid query with trailing garbage.
+    let mut trailing = valid_query(13, "m.yelp.com");
+    trailing.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+    corpus.push(trailing);
+
+    let mut core = core().lock().unwrap();
+    let shards = core.carrier_count();
+    for input in &corpus {
+        for shard in [0, shards.saturating_sub(1), shards, usize::MAX] {
+            check(&mut core, shard, Transport::Udp, input);
+            check(&mut core, shard, Transport::Tcp, input);
+        }
+    }
+    // The core still answers real queries after eating the whole corpus.
+    let q = valid_query(0x0FFF, "m.facebook.com");
+    assert!(
+        matches!(core.handle(0, Transport::Udp, &q), Served::Reply(_)),
+        "corpus wedged the core"
+    );
+}
+
+fn valid_query(id: u16, name: &str) -> Vec<u8> {
+    dnswire::builder::QueryBuilder::new(id, name, dnswire::RecordType::A)
+        .recursion_desired(true)
+        .build()
+        .unwrap()
+        .encode()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn handle_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        shard in 0usize..8,
+        tcp in any::<bool>(),
+    ) {
+        let transport = if tcp { Transport::Tcp } else { Transport::Udp };
+        let mut core = core().lock().unwrap();
+        check(&mut core, shard, transport, &bytes);
+    }
+
+    #[test]
+    fn handle_never_panics_on_mutated_valid_queries(
+        id in any::<u16>(),
+        idx in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+        keep in any::<prop::sample::Index>(),
+    ) {
+        // A real query with one byte corrupted, then truncated anywhere:
+        // the classic middlebox-mangling shape.
+        let mut wire = valid_query(id, "www.buzzfeed.com");
+        let i = idx.index(wire.len());
+        wire[i] = byte;
+        wire.truncate(keep.index(wire.len() + 1));
+        let mut core = core().lock().unwrap();
+        check(&mut core, 0, Transport::Udp, &wire);
+    }
+}

@@ -4,6 +4,7 @@
 Usage:
     vitals_check.py <metrics.json> <host-profile.txt> <baseline.json> <fault-profile>
     vitals_check.py --bench <fresh-bench.json> <baseline.json> <trajectory.json...>
+    vitals_check.py --soak <serve-metrics.json> <soak-profile.json> <chaos-profile>
 
 Smoke-run mode has two gates, one per observability plane:
 
@@ -67,9 +68,11 @@ KNOWN_METRICS = [
     "dns.resolver.servfails",
     "dns.resolver.upstream_queries",
     "loadgen.answered",
+    "loadgen.chaos_injected",
     "loadgen.latency_us",
     "loadgen.mismatches",
     "loadgen.sent",
+    "loadgen.shed_retries",
     "loadgen.tc_retries",
     "loadgen.wire_timeouts",
     "net.delivered",
@@ -79,10 +82,27 @@ KNOWN_METRICS = [
     "net.forwards",
     "net.queue_depth",
     "net.timeouts",
+    "serve.conn_evicted",
+    "serve.drain_completed",
+    "serve.dropped",
+    "serve.formerr",
+    "serve.notimp",
     "serve.outcomes",
     "serve.queries",
+    "serve.shed",
     "serve.sim_latency_us",
+    "serve.truncated",
 ]
+
+# Server-side counters a chaos soak must have driven nonzero, per chaos
+# profile: the whole point of injecting hostile wire traffic is to
+# exercise the typed reject, shed, and eviction paths, so a soak that
+# counted none of them means the chaos lane (or the server's defenses)
+# silently disappeared.
+SOAK_REQUIRED = {
+    "mild": ["serve.queries", "serve.formerr"],
+    "stress": ["serve.queries", "serve.formerr", "serve.shed", "serve.conn_evicted"],
+}
 
 
 def counter_total(metrics, name):
@@ -139,6 +159,55 @@ def check_smoke(argv):
             failures.append(
                 f"events/sec regressed: {rate:.0f} < {floor:.0f} "
                 f"(>{baseline['regression_tolerance']:.0%} below baseline low)")
+    return failures
+
+
+def check_soak(argv):
+    """Gates a `repro soak --chaos <profile>` run: the server-side metrics
+    artifact must count hostile traffic on every defense path the profile
+    exercises, the loadgen profile must show zero lost or diverged
+    answers, and no unknown metric names may leak out."""
+    metrics_path, profile_path, chaos_profile = argv
+    if chaos_profile not in SOAK_REQUIRED:
+        return [f"unknown chaos profile '{chaos_profile}' "
+                f"(expected one of {sorted(SOAK_REQUIRED)})"]
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    with open(profile_path) as f:
+        profile = json.load(f)
+
+    failures = []
+
+    known = set(KNOWN_METRICS)
+    exported = set()
+    for plane in ("counters", "gauges", "histograms"):
+        exported.update(m["name"] for m in metrics.get(plane, []))
+    for name in sorted(exported - known):
+        failures.append(f"exported metric {name} is not in KNOWN_METRICS")
+
+    for name in SOAK_REQUIRED[chaos_profile]:
+        total = counter_total(metrics, name)
+        print(f"vitals: {name} = {total}")
+        if total == 0:
+            failures.append(f"chaos soak counter {name} is zero")
+
+    # Loadgen side: chaos actually ran, and the hostile-wire invariant
+    # held — nothing well-formed was lost and nothing diverged from the
+    # ground-truth replay.
+    print(f"vitals: chaos_injected = {profile['chaos_injected']}, "
+          f"answered = {profile['answered']}, "
+          f"mismatches = {profile['mismatches']}, "
+          f"chaos_unanswered = {profile['chaos_unanswered']}")
+    if profile["chaos_injected"] == 0:
+        failures.append("chaos profile requested but chaos_injected is zero")
+    if profile["answered"] == 0:
+        failures.append("soak answered nothing")
+    if profile["mismatches"] != 0:
+        failures.append(
+            f"{profile['mismatches']} wire answers diverged from ground truth")
+    if profile["chaos_unanswered"] != 0:
+        failures.append(
+            f"{profile['chaos_unanswered']} reply-owed chaos datagrams went unanswered")
     return failures
 
 
@@ -236,6 +305,8 @@ def main():
     argv = sys.argv[1:]
     if len(argv) >= 3 and argv[0] == "--bench":
         failures = check_bench(argv[1:])
+    elif len(argv) == 4 and argv[0] == "--soak":
+        failures = check_soak(argv[1:])
     elif len(argv) == 4:
         failures = check_smoke(argv)
     else:

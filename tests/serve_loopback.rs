@@ -2,16 +2,18 @@
 //! on `127.0.0.1:0`, driven by the deterministic load generator, with
 //! every wire answer replayed into a ground-truth [`ServeCore`] built from
 //! the identical world config and compared byte-for-byte — over UDP, over
-//! TCP, and through the forced-TC → TCP retry path.
+//! TCP, through the forced-TC → TCP retry path, and under wire chaos
+//! (malformed datagrams, duplicate floods, hostile TCP connections).
 
 use dnssim::{frame, require_frame};
 use dnswire::builder::QueryBuilder;
-use dnswire::message::Message;
+use dnswire::message::{Message, MessageView, Opcode, Rcode};
 use dnswire::rdata::RecordType;
-use loadgen::{build_script, run, DriverConfig, MixConfig};
+use loadgen::{build_script, run, ChaosProfile, DriverConfig, MixConfig};
 use serve::{DnsServer, FaultProfile, ServeCore, Transport, WorldConfig};
 use std::io::{Read, Write};
-use std::net::{Ipv4Addr, TcpStream};
+use std::net::{Ipv4Addr, TcpStream, UdpSocket};
+use std::time::Duration;
 
 fn start(config: WorldConfig) -> DnsServer {
     DnsServer::start(config, Ipv4Addr::LOCALHOST).expect("bind loopback")
@@ -44,6 +46,7 @@ fn udp_wire_answers_match_the_batch_resolver() {
         &DriverConfig {
             qps: None,
             verify: true,
+            chaos: ChaosProfile::Off,
         },
     )
     .expect("wire run");
@@ -56,6 +59,8 @@ fn udp_wire_answers_match_the_batch_resolver() {
     );
     assert_eq!(report.errors, 0);
     assert!(report.answered >= 600);
+    assert_eq!(report.shed, 0, "clean traffic must never be shed");
+    assert!(!report.panicked);
 }
 
 #[test]
@@ -84,7 +89,10 @@ fn tcp_path_answers_byte_identically() {
 
     // Ground truth: the same single TCP call against a replica core.
     let mut truth = ServeCore::new(config);
-    let want = truth.answer(0, Transport::Tcp, &wire).expect("truth");
+    let want = truth
+        .handle(0, Transport::Tcp, &wire)
+        .into_reply()
+        .expect("truth");
     assert_eq!(got, want, "TCP wire answer differs from the batch resolver");
     let msg = Message::decode(&got).unwrap();
     assert_eq!(msg.header.id, 0x5151);
@@ -118,6 +126,7 @@ fn forced_tc_answers_recover_over_tcp_and_still_verify() {
         &DriverConfig {
             qps: None,
             verify: true,
+            chaos: ChaosProfile::Off,
         },
     )
     .expect("wire run");
@@ -129,4 +138,160 @@ fn forced_tc_answers_recover_over_tcp_and_still_verify() {
     );
     assert_eq!(stats.answered, 2_000);
     assert_eq!(stats.mismatches, 0, "TC retry path broke ground truth");
+}
+
+#[test]
+fn malformed_wire_inputs_get_typed_rcodes_on_the_wire() {
+    let server = start(WorldConfig::quick(31));
+    let ep = server.endpoints().carriers[0].clone();
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sock.connect(ep.udp).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(3)))
+        .expect("timeout");
+    let mut buf = [0u8; 512];
+
+    // QDCOUNT=0 header → 12-byte FORMERR echoing the id.
+    let headeronly = [0xAB, 0xCD, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+    sock.send(&headeronly).expect("send");
+    let n = sock.recv(&mut buf).expect("formerr reply");
+    let view = MessageView::new(&buf[..n]).expect("parse");
+    assert_eq!(n, 12);
+    assert_eq!(view.id(), 0xABCD);
+    assert!(view.is_response());
+    assert_eq!(view.rcode(), Rcode::FormErr);
+
+    // IQUERY opcode → NOTIMP echoing id and opcode.
+    let mut iquery = query_bytes(0x1234, "m.yelp.com");
+    iquery[2] = (iquery[2] & !0x78) | (Opcode::IQuery.code() << 3);
+    sock.send(&iquery).expect("send");
+    let n = sock.recv(&mut buf).expect("notimp reply");
+    let view = MessageView::new(&buf[..n]).expect("parse");
+    assert_eq!(view.id(), 0x1234);
+    assert_eq!(view.opcode(), Opcode::IQuery);
+    assert_eq!(view.rcode(), Rcode::NotImp);
+
+    // A stray response and a runt are dropped silently: the next real
+    // query still answers, proving the bridge didn't wedge.
+    let mut stray = query_bytes(0x9999, "m.yelp.com");
+    stray[2] |= 0x80;
+    sock.send(&stray).expect("send");
+    sock.send(b"runt").expect("send");
+    let wire = query_bytes(0x4242, "m.facebook.com");
+    sock.send(&wire).expect("send");
+    let n = sock.recv(&mut buf).expect("real answer");
+    let view = MessageView::new(&buf[..n]).expect("parse");
+    assert_eq!(view.id(), 0x4242, "garbage must not eat the next answer");
+
+    let report = server.stop();
+    assert_eq!(report.rejected, 2);
+    assert_eq!(report.errors, 2, "stray + runt are typed drops");
+    assert_eq!(report.answered, 1);
+    assert!(report.registry.counter_total("serve.formerr") >= 1);
+    assert!(report.registry.counter_total("serve.notimp") >= 1);
+    assert!(report.registry.counter_total("serve.dropped") >= 2);
+}
+
+#[test]
+fn hostile_tcp_connections_are_evicted() {
+    let server = start(WorldConfig::quick(47));
+    let ep = server.endpoints().carriers[0].clone();
+
+    // Oversized declared frame: closed before the body is read.
+    let mut oversized = TcpStream::connect(ep.tcp).expect("connect");
+    oversized
+        .set_read_timeout(Some(Duration::from_secs(4)))
+        .unwrap();
+    oversized.write_all(&[0xFF, 0xFF, 0x00]).expect("send");
+    let mut chunk = [0u8; 64];
+    assert_eq!(
+        oversized.read(&mut chunk).unwrap_or(0),
+        0,
+        "oversized frame must get the connection closed"
+    );
+
+    // Slowloris: a partial frame that never completes.
+    let mut stalled = TcpStream::connect(ep.tcp).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(4)))
+        .unwrap();
+    stalled.write_all(&[0x00, 0x40, 0xAB]).expect("send");
+    assert_eq!(
+        stalled.read(&mut chunk).unwrap_or(0),
+        0,
+        "stalled writer must be evicted"
+    );
+
+    // A well-behaved connection still works afterwards.
+    let wire = query_bytes(0x0707, "m.twitter.com");
+    let mut good = TcpStream::connect(ep.tcp).expect("connect");
+    good.write_all(&frame(&wire).unwrap()).expect("send");
+    let mut data = Vec::new();
+    loop {
+        if let Ok(payload) = require_frame(&data) {
+            let view = MessageView::new(payload).expect("parse");
+            assert_eq!(view.id(), 0x0707);
+            break;
+        }
+        let n = good.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed a well-behaved connection");
+        data.extend_from_slice(&chunk[..n]);
+    }
+
+    let report = server.stop();
+    assert!(report.evicted >= 2, "both hostile conns must be evicted");
+    assert!(report.registry.counter_total("serve.conn_evicted") >= 2);
+    assert_eq!(report.answered, 1);
+}
+
+#[test]
+fn chaos_stress_soak_keeps_ground_truth_and_loses_no_answers() {
+    // The headline hostile-wire invariant, end to end: under stress chaos
+    // (garbage, mutants, duplicate floods, hostile TCP) the server never
+    // panics, never drops a well-formed query's answer, and the
+    // well-formed subset still verifies byte-for-byte against the batch
+    // resolver.
+    let server = start(WorldConfig::quick(13));
+    let eps = server.endpoints().clone();
+    let script = build_script(
+        &eps,
+        &MixConfig {
+            queries: 600,
+            miss_per_mille: 100,
+        },
+    );
+    let stats = run(
+        &eps,
+        &script,
+        &DriverConfig {
+            qps: None,
+            verify: true,
+            chaos: ChaosProfile::Stress,
+        },
+    )
+    .expect("wire run");
+    let report = server.stop();
+
+    assert!(!report.panicked, "server must survive chaos");
+    assert_eq!(stats.answered, 600, "no well-formed answer may be lost");
+    assert_eq!(stats.mismatches, 0, "chaos desynced the ground truth");
+    assert!(stats.chaos_injected > 0);
+    assert!(
+        stats.evictions_observed > 0,
+        "hostile TCP probes must be evicted"
+    );
+    assert!(
+        stats.shed_replies > 0,
+        "duplicate floods must drive admission shedding"
+    );
+    assert_eq!(
+        stats.chaos_unanswered, 0,
+        "every reply-owed chaos datagram must be answered on loopback"
+    );
+
+    // Server-side taxonomy: rejects, sheds, and evictions all counted.
+    assert!(report.registry.counter_total("serve.formerr") > 0);
+    assert!(report.registry.counter_total("serve.shed") > 0);
+    assert!(report.registry.counter_total("serve.conn_evicted") > 0);
+    assert!(report.shed > 0);
+    assert!(report.evicted > 0);
 }
